@@ -1,0 +1,1 @@
+"""Benchmark package marker (shared fixtures would go here)."""

@@ -1,0 +1,44 @@
+"""Expression lowering: guard/action ASTs -> stack code.
+
+Post-order traversal; each node leaves exactly one value on the stack.
+The differential property tests in ``tests/test_codegen_diff.py`` check the
+compiled code agrees with :meth:`Expr.eval` on random expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.comdes.expr import Binary, Const, Expr, Unary, Var
+from repro.errors import CodegenError
+from repro.target.assembler import Assembler
+
+#: expression operator -> CPU opcode
+_BINARY_OPCODE = {
+    "add": "ADD", "sub": "SUB", "mul": "MUL", "div": "DIV", "mod": "MOD",
+    "min": "MIN", "max": "MAX", "and": "AND", "or": "OR",
+    "eq": "EQ", "ne": "NE", "lt": "LT", "le": "LE", "gt": "GT", "ge": "GE",
+}
+
+_UNARY_OPCODE = {"neg": "NEG", "not": "NOT"}
+
+#: resolver signature: variable name -> RAM address
+AddrResolver = Callable[[str], int]
+
+
+def lower_expr(asm: Assembler, expr: Expr, resolve: AddrResolver,
+               src_path: Optional[str] = None) -> None:
+    """Emit code that leaves ``expr``'s value on top of the stack."""
+    if isinstance(expr, Const):
+        asm.emit("PUSH", expr.value, src_path=src_path)
+    elif isinstance(expr, Var):
+        asm.emit("LOAD", resolve(expr.name), src_path=src_path)
+    elif isinstance(expr, Unary):
+        lower_expr(asm, expr.operand, resolve, src_path)
+        asm.emit(_UNARY_OPCODE[expr.op], src_path=src_path)
+    elif isinstance(expr, Binary):
+        lower_expr(asm, expr.left, resolve, src_path)
+        lower_expr(asm, expr.right, resolve, src_path)
+        asm.emit(_BINARY_OPCODE[expr.op], src_path=src_path)
+    else:
+        raise CodegenError(f"cannot lower expression node {type(expr).__name__}")

@@ -1,0 +1,94 @@
+"""Actors: the distributed unit of computation in COMDES.
+
+An actor wraps one component network and binds its boundary ports to system
+signals. Its timing contract is a :class:`TaskSpec` — period, deadline,
+offset and fixed priority — interpreted by the Distributed Timed Multitasking
+runtime (:mod:`repro.rtos`): inputs are latched when the task is released,
+outputs become visible exactly at the deadline instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.comdes.dataflow import ComponentNetwork
+from repro.errors import ModelError
+
+
+class TaskSpec:
+    """Timing parameters of an actor task (all times in microseconds)."""
+
+    def __init__(self, period_us: int, deadline_us: Optional[int] = None,
+                 offset_us: int = 0, priority: int = 1) -> None:
+        if period_us <= 0:
+            raise ModelError(f"task period must be positive, got {period_us}")
+        deadline = deadline_us if deadline_us is not None else period_us
+        if not (0 < deadline <= period_us):
+            raise ModelError(
+                f"deadline must satisfy 0 < deadline <= period, got "
+                f"deadline={deadline} period={period_us}"
+            )
+        if offset_us < 0:
+            raise ModelError(f"offset must be non-negative, got {offset_us}")
+        self.period_us = period_us
+        self.deadline_us = deadline
+        self.offset_us = offset_us
+        self.priority = priority
+
+    def __repr__(self) -> str:
+        return (f"<TaskSpec T={self.period_us}us D={self.deadline_us}us "
+                f"O={self.offset_us}us P={self.priority}>")
+
+
+class Actor:
+    """A distributed embedded actor: network + signal bindings + task timing.
+
+    ``inputs`` maps network input port -> consumed signal name;
+    ``outputs`` maps network output port -> produced signal name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: ComponentNetwork,
+        task: TaskSpec,
+        inputs: Optional[Mapping[str, str]] = None,
+        outputs: Optional[Mapping[str, str]] = None,
+        node: str = "node0",
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise ModelError(f"actor name must be an identifier, got {name!r}")
+        self.name = name
+        self.network = network
+        self.task = task
+        self.inputs: Dict[str, str] = dict(inputs or {})
+        self.outputs: Dict[str, str] = dict(outputs or {})
+        self.node = node
+
+        for port in self.inputs:
+            if port not in network.input_ports:
+                raise ModelError(
+                    f"actor {name}: network has no input port {port!r} to bind"
+                )
+        for port in self.outputs:
+            if port not in network.output_ports:
+                raise ModelError(
+                    f"actor {name}: network has no output port {port!r} to bind"
+                )
+        unbound_inputs = set(network.input_ports) - set(self.inputs)
+        if unbound_inputs:
+            raise ModelError(
+                f"actor {name}: network input ports {sorted(unbound_inputs)} "
+                "are not bound to any signal"
+            )
+
+    def consumed_signals(self) -> Dict[str, str]:
+        """signal name -> network input port (inverse of ``inputs``)."""
+        return {signal: port for port, signal in self.inputs.items()}
+
+    def produced_signals(self) -> Dict[str, str]:
+        """signal name -> network output port (inverse of ``outputs``)."""
+        return {signal: port for port, signal in self.outputs.items()}
+
+    def __repr__(self) -> str:
+        return f"<Actor {self.name} on {self.node} {self.task!r}>"

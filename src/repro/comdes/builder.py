@@ -1,0 +1,135 @@
+"""A fluent builder for COMDES systems — the "modeling tool" facade.
+
+Building systems from raw constructors is verbose (see
+:mod:`repro.comdes.examples`); the builder reads like the diagram::
+
+    system = (SystemBuilder("thermostat")
+              .signal("temp", init=200)
+              .signal("heat")
+              .actor("controller", period_us=ms(50))
+                  .machine("ctl", thermostat_machine())
+                  .reads("temp", into="ctl.temp")
+                  .writes("heat", from_="ctl.heat")
+              .done()
+              .build())
+
+Validation happens at ``build()`` so incremental construction never
+half-fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.comdes.actor import Actor, TaskSpec
+from repro.comdes.blocks import FunctionBlock, StateMachineFB
+from repro.comdes.dataflow import ComponentNetwork, Connection, PortRef
+from repro.comdes.fsm import StateMachine
+from repro.comdes.signals import Signal
+from repro.comdes.system import System
+from repro.comdes.validate import validate_system
+from repro.errors import ModelError
+
+
+class ActorBuilder:
+    """Builds one actor inside a :class:`SystemBuilder`."""
+
+    def __init__(self, parent: "SystemBuilder", name: str, period_us: int,
+                 deadline_us: Optional[int], offset_us: int, priority: int,
+                 node: str) -> None:
+        self._parent = parent
+        self._name = name
+        self._task = TaskSpec(period_us, deadline_us, offset_us, priority)
+        self._node = node
+        self._blocks: List[FunctionBlock] = []
+        self._connections: List[Connection] = []
+        self._input_ports: Dict[str, List[PortRef]] = {}
+        self._output_ports: Dict[str, PortRef] = {}
+        self._inputs: Dict[str, str] = {}
+        self._outputs: Dict[str, str] = {}
+
+    # -- content ------------------------------------------------------------
+
+    def block(self, block: FunctionBlock) -> "ActorBuilder":
+        """Add a prefabricated function block."""
+        self._blocks.append(block)
+        return self
+
+    def machine(self, name: str, machine: StateMachine) -> "ActorBuilder":
+        """Add a state-machine function block."""
+        return self.block(StateMachineFB(name, machine))
+
+    def wire(self, src: str, dst: str) -> "ActorBuilder":
+        """Connect ``"block.port" -> "block.port"`` inside the actor."""
+        self._connections.append(Connection.wire(src, dst))
+        return self
+
+    # -- boundary ---------------------------------------------------------
+
+    def reads(self, signal: str, into: str) -> "ActorBuilder":
+        """Bind a consumed signal to one or more block inputs.
+
+        ``into`` is ``"block.port"``; call again with the same signal to fan
+        out to more ports.
+        """
+        port_name = signal  # network input port named after the signal
+        self._input_ports.setdefault(port_name, []).append(
+            PortRef.parse(into))
+        self._inputs[port_name] = signal
+        return self
+
+    def writes(self, signal: str, from_: str) -> "ActorBuilder":
+        """Bind a produced signal to a block output (``"block.port"``)."""
+        port_name = signal
+        if port_name in self._output_ports:
+            raise ModelError(
+                f"actor {self._name}: signal {signal!r} already written"
+            )
+        self._output_ports[port_name] = PortRef.parse(from_)
+        self._outputs[port_name] = signal
+        return self
+
+    def done(self) -> "SystemBuilder":
+        """Finish this actor and return to the system builder."""
+        network = ComponentNetwork(
+            name=f"{self._name}_net",
+            blocks=self._blocks,
+            connections=self._connections,
+            input_ports=self._input_ports,
+            output_ports=self._output_ports,
+        )
+        actor = Actor(self._name, network, self._task,
+                      inputs=self._inputs, outputs=self._outputs,
+                      node=self._node)
+        self._parent._actors.append(actor)
+        return self._parent
+
+
+class SystemBuilder:
+    """Accumulates signals and actors; validates on build()."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._signals: List[Signal] = []
+        self._actors: List[Actor] = []
+
+    def signal(self, name: str, init: int = 0, unit: str = "") -> "SystemBuilder":
+        """Declare a labeled signal."""
+        self._signals.append(Signal(name, init=init, unit=unit))
+        return self
+
+    def actor(self, name: str, period_us: int,
+              deadline_us: Optional[int] = None, offset_us: int = 0,
+              priority: Optional[int] = None,
+              node: str = "node0") -> ActorBuilder:
+        """Open an actor builder (priority defaults to declaration order)."""
+        effective_priority = (priority if priority is not None
+                              else len(self._actors) + 1)
+        return ActorBuilder(self, name, period_us, deadline_us, offset_us,
+                            effective_priority, node)
+
+    def build(self) -> System:
+        """Assemble and validate the system."""
+        system = System(self._name, self._signals, self._actors)
+        validate_system(system)
+        return system

@@ -1,0 +1,47 @@
+"""Composite function blocks: a whole network packaged as one block.
+
+COMDES builds hierarchy by composition — a composite block exposes its inner
+network's boundary ports as its own and flattens the inner state under
+``<block>.<var>`` keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.comdes.blocks import BlockState, FunctionBlock, PortValues
+from repro.comdes.dataflow import ComponentNetwork
+
+
+class CompositeFB(FunctionBlock):
+    """A function block whose behaviour is an inner component network."""
+
+    kind = "composite"
+
+    def __init__(self, name: str, network: ComponentNetwork) -> None:
+        super().__init__(
+            name,
+            inputs=sorted(network.input_ports),
+            outputs=sorted(network.output_ports),
+        )
+        self.network = network
+
+    def state_vars(self) -> BlockState:
+        state: BlockState = {}
+        for block_name, block_state in self.network.initial_state().items():
+            for var, value in block_state.items():
+                state[f"{block_name}.{var}"] = value
+        return state
+
+    def behavior(self, inputs: PortValues, state: BlockState) -> Tuple[PortValues, BlockState]:
+        self._require(inputs)
+        inner: Dict[str, BlockState] = {}
+        for key, value in state.items():
+            block_name, var = key.split(".", 1)
+            inner.setdefault(block_name, {})[var] = value
+        outputs, new_inner = self.network.step(inputs, inner)
+        new_state: BlockState = {}
+        for block_name, block_state in new_inner.items():
+            for var, value in block_state.items():
+                new_state[f"{block_name}.{var}"] = value
+        return outputs, new_state

@@ -1,0 +1,270 @@
+"""Component networks: the hierarchical dataflow model of COMDES actors.
+
+A network wires function-block ports together. One synchronous step runs in
+three phases — Moore outputs, combinational blocks in dependency order, Moore
+state updates — which is exactly the order :mod:`repro.codegen` emits, so
+interpreter and target agree step-for-step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.comdes.blocks import BlockState, FunctionBlock, PortValues
+from repro.errors import ModelError, ValidationError
+
+NetworkState = Dict[str, BlockState]
+
+
+class PortRef:
+    """A reference to one port of one block, e.g. ``controller.y``."""
+
+    __slots__ = ("block", "port")
+
+    def __init__(self, block: str, port: str) -> None:
+        self.block = block
+        self.port = port
+
+    @classmethod
+    def parse(cls, dotted: str) -> "PortRef":
+        """Parse ``"block.port"`` into a PortRef."""
+        if dotted.count(".") != 1:
+            raise ModelError(f"port reference must be 'block.port', got {dotted!r}")
+        block, port = dotted.split(".")
+        return cls(block, port)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PortRef)
+                and (self.block, self.port) == (other.block, other.port))
+
+    def __hash__(self) -> int:
+        return hash((self.block, self.port))
+
+    def __repr__(self) -> str:
+        return f"{self.block}.{self.port}"
+
+
+class Connection:
+    """A directed wire from an output port to an input port."""
+
+    __slots__ = ("src", "dst")
+
+    def __init__(self, src: PortRef, dst: PortRef) -> None:
+        self.src = src
+        self.dst = dst
+
+    @classmethod
+    def wire(cls, src: str, dst: str) -> "Connection":
+        """Convenience: ``Connection.wire("a.y", "b.u")``."""
+        return cls(PortRef.parse(src), PortRef.parse(dst))
+
+    def __repr__(self) -> str:
+        return f"<{self.src} -> {self.dst}>"
+
+
+class ComponentNetwork:
+    """A network of function blocks with named boundary ports.
+
+    ``input_ports`` maps a network-level input name to the block input ports
+    it feeds (fan-out allowed); ``output_ports`` maps a network-level output
+    name to the block output port that drives it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        blocks: Sequence[FunctionBlock],
+        connections: Sequence[Connection] = (),
+        input_ports: Mapping[str, Sequence[PortRef]] = None,
+        output_ports: Mapping[str, PortRef] = None,
+    ) -> None:
+        self.name = name
+        self.blocks: List[FunctionBlock] = list(blocks)
+        self.connections: List[Connection] = list(connections)
+        self.input_ports: Dict[str, List[PortRef]] = {
+            k: list(v) for k, v in (input_ports or {}).items()
+        }
+        self.output_ports: Dict[str, PortRef] = dict(output_ports or {})
+        self._by_name: Dict[str, FunctionBlock] = {}
+        self.check()
+        self._topo: List[FunctionBlock] = self._combinational_order()
+
+    # -- structure -----------------------------------------------------------
+
+    def block(self, name: str) -> FunctionBlock:
+        """Look up a block by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ModelError(f"network {self.name}: no block named {name!r}") from None
+
+    def check(self) -> None:
+        """Validate wiring: names, port existence, single-driver inputs."""
+        problems: List[str] = []
+        self._by_name = {}
+        for block in self.blocks:
+            if block.name in self._by_name:
+                problems.append(f"duplicate block name {block.name!r}")
+            self._by_name[block.name] = block
+
+        def check_ref(ref: PortRef, direction: str, context: str) -> None:
+            block = self._by_name.get(ref.block)
+            if block is None:
+                problems.append(f"{context}: unknown block {ref.block!r}")
+                return
+            ports = block.outputs if direction == "out" else block.inputs
+            if ref.port not in ports:
+                problems.append(
+                    f"{context}: block {ref.block!r} has no {direction}put "
+                    f"port {ref.port!r}"
+                )
+
+        drivers: Dict[Tuple[str, str], str] = {}
+
+        def add_driver(dst: PortRef, source_desc: str) -> None:
+            key = (dst.block, dst.port)
+            if key in drivers:
+                problems.append(
+                    f"input {dst} driven twice ({drivers[key]} and {source_desc})"
+                )
+            drivers[key] = source_desc
+
+        for conn in self.connections:
+            check_ref(conn.src, "out", f"connection {conn}")
+            check_ref(conn.dst, "in", f"connection {conn}")
+            add_driver(conn.dst, str(conn.src))
+        for net_port, dsts in self.input_ports.items():
+            for dst in dsts:
+                check_ref(dst, "in", f"network input {net_port!r}")
+                add_driver(dst, f"network input {net_port!r}")
+        for net_port, src in self.output_ports.items():
+            check_ref(src, "out", f"network output {net_port!r}")
+
+        # every block input must have exactly one driver
+        for block in self.blocks:
+            for port in block.inputs:
+                if (block.name, port) not in drivers:
+                    problems.append(f"input {block.name}.{port} is unconnected")
+
+        if problems:
+            raise ValidationError([f"network {self.name}: {p}" for p in problems])
+
+    def _combinational_order(self) -> List[FunctionBlock]:
+        """Topological order of Mealy blocks; raises on combinational cycles."""
+        mealy = [b for b in self.blocks if not b.is_moore]
+        indeg = {b.name: 0 for b in mealy}
+        edges: Dict[str, List[str]] = {b.name: [] for b in mealy}
+        for conn in self.connections:
+            src_block = self._by_name[conn.src.block]
+            dst_block = self._by_name[conn.dst.block]
+            if not src_block.is_moore and not dst_block.is_moore:
+                edges[src_block.name].append(dst_block.name)
+                indeg[dst_block.name] += 1
+        ready = [b.name for b in mealy if indeg[b.name] == 0]
+        order: List[str] = []
+        while ready:
+            ready.sort()  # deterministic order among independent blocks
+            name = ready.pop(0)
+            order.append(name)
+            for succ in edges[name]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(mealy):
+            cyclic = sorted(set(indeg) - set(order))
+            raise ValidationError(
+                [f"network {self.name}: combinational cycle through {cyclic} "
+                 "(insert a DelayFB to break it)"]
+            )
+        return [self._by_name[name] for name in order]
+
+    def evaluation_order(self) -> List[str]:
+        """Block names in execution order: Moore outputs happen first."""
+        moore = sorted(b.name for b in self.blocks if b.is_moore)
+        return moore + [b.name for b in self._topo]
+
+    # -- reference semantics ---------------------------------------------------
+
+    def initial_state(self) -> NetworkState:
+        """Fresh per-block state for a run."""
+        return {b.name: dict(b.state_vars()) for b in self.blocks}
+
+    def step(self, inputs: Mapping[str, int],
+             state: NetworkState) -> Tuple[PortValues, NetworkState]:
+        """One synchronous step; returns (network outputs, new state)."""
+        for net_port in self.input_ports:
+            if net_port not in inputs:
+                raise ModelError(f"network {self.name}: missing input {net_port!r}")
+
+        in_values: Dict[Tuple[str, str], int] = {}
+        out_values: Dict[Tuple[str, str], int] = {}
+        # Normalize: every block gets a state dict even if the caller's copy
+        # omits stateless blocks (composite/modal blocks flatten sub-states).
+        new_state: NetworkState = {
+            b.name: dict(state.get(b.name, {})) for b in self.blocks
+        }
+
+        def publish(block_name: str, outputs: PortValues) -> None:
+            for port, value in outputs.items():
+                out_values[(block_name, port)] = value
+            for conn in self.connections:
+                if conn.src.block == block_name and conn.src.port in outputs:
+                    in_values[(conn.dst.block, conn.dst.port)] = outputs[conn.src.port]
+
+        # Phase 0: network inputs fan out to block inputs.
+        for net_port, dsts in self.input_ports.items():
+            for dst in dsts:
+                in_values[(dst.block, dst.port)] = inputs[net_port]
+
+        # Phase 1: Moore blocks publish state-determined outputs.
+        moore_blocks = sorted(
+            (b for b in self.blocks if b.is_moore), key=lambda b: b.name
+        )
+        for block in moore_blocks:
+            publish(block.name, block.moore_output(new_state[block.name]))
+
+        # Phase 2: Mealy blocks in combinational dependency order.
+        for block in self._topo:
+            block_inputs = self._gather(block, in_values)
+            outputs, bstate = block.behavior(block_inputs, new_state[block.name])
+            new_state[block.name] = bstate
+            publish(block.name, outputs)
+
+        # Phase 3: Moore blocks advance state (input-less blocks advance too —
+        # e.g. a SequenceFB stimulus steps its script every cycle).
+        for block in moore_blocks:
+            block_inputs = self._gather(block, in_values) if block.inputs else {}
+            new_state[block.name] = block.advance(
+                block_inputs, new_state[block.name]
+            )
+
+        net_outputs = {
+            name: out_values[(src.block, src.port)]
+            for name, src in self.output_ports.items()
+        }
+        return net_outputs, new_state
+
+    def _gather(self, block: FunctionBlock,
+                in_values: Dict[Tuple[str, str], int]) -> PortValues:
+        gathered: PortValues = {}
+        for port in block.inputs:
+            key = (block.name, port)
+            if key not in in_values:
+                raise ModelError(
+                    f"network {self.name}: {block.name}.{port} has no value this step"
+                )
+            gathered[port] = in_values[key]
+        return gathered
+
+    def run(self, input_trace: Sequence[Mapping[str, int]]) -> List[PortValues]:
+        """Run several steps from the initial state; return outputs per step."""
+        state = self.initial_state()
+        outputs: List[PortValues] = []
+        for inputs in input_trace:
+            step_out, state = self.step(inputs, state)
+            outputs.append(step_out)
+        return outputs
+
+    def __repr__(self) -> str:
+        return (f"<ComponentNetwork {self.name}: {len(self.blocks)} blocks, "
+                f"{len(self.connections)} connections>")

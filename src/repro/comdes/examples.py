@@ -1,0 +1,427 @@
+"""Canned COMDES example systems.
+
+These are the workloads the paper's domain motivates — small embedded
+control applications mixing state-machine and dataflow models — used across
+tests, examples and benchmarks. All are deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.comdes.actor import Actor, TaskSpec
+from repro.comdes.blocks import (
+    DelayFB,
+    GainFB,
+    IntegratorFB,
+    PiFB,
+    SequenceFB,
+    StateMachineFB,
+    SubFB,
+)
+from repro.comdes.dataflow import ComponentNetwork, Connection, PortRef
+from repro.comdes.expr import band, const, eq, ge, gt, lt, var
+from repro.comdes.fsm import Assign, StateMachine, Transition
+from repro.comdes.modal import ModalFB, Mode
+from repro.comdes.signals import Signal
+from repro.comdes.system import System
+from repro.util.timeunits import ms
+
+
+def blinker_machine(half_period_steps: int = 3) -> StateMachine:
+    """A two-state LED blinker: toggles every *half_period_steps* steps."""
+    n = half_period_steps
+    return StateMachine(
+        name="blinker",
+        states=["OFF", "ON"],
+        initial="OFF",
+        inputs=[],
+        outputs=["led"],
+        variables={"t": 0},
+        transitions=[
+            Transition("OFF", "ON", guard=ge(var("t"), const(n - 1)),
+                       actions=[Assign("t", const(0)), Assign("led", const(1))]),
+            Transition("OFF", "OFF", guard=lt(var("t"), const(n - 1)),
+                       actions=[Assign("t", var("t") + const(1))]),
+            Transition("ON", "OFF", guard=ge(var("t"), const(n - 1)),
+                       actions=[Assign("t", const(0)), Assign("led", const(0))]),
+            Transition("ON", "ON", guard=lt(var("t"), const(n - 1)),
+                       actions=[Assign("t", var("t") + const(1))]),
+        ],
+    )
+
+
+def blinker_system(period_us: int = ms(10)) -> System:
+    """Single-actor system: the blinker driving an ``led`` signal."""
+    machine = blinker_machine()
+    network = ComponentNetwork(
+        name="blinker_net",
+        blocks=[StateMachineFB("blink", machine)],
+        connections=[],
+        input_ports={},
+        output_ports={"led": PortRef("blink", "led")},
+    )
+    actor = Actor(
+        name="blinky",
+        network=network,
+        task=TaskSpec(period_us=period_us, priority=1),
+        inputs={},
+        outputs={"led": "led"},
+    )
+    return System("blinker", signals=[Signal("led")], actors=[actor])
+
+
+def traffic_light_machine(red_steps: int = 4, green_steps: int = 4,
+                          yellow_steps: int = 2) -> StateMachine:
+    """Classic three-state traffic light with a pedestrian request input.
+
+    ``btn`` (pedestrian request) shortens the green phase: when pressed
+    during GREEN, the light moves to YELLOW immediately. ``light`` encodes
+    the active lamp (0=red, 1=green, 2=yellow).
+    """
+    return StateMachine(
+        name="traffic_light",
+        states=["RED", "GREEN", "YELLOW"],
+        initial="RED",
+        inputs=["btn"],
+        outputs=["light"],
+        variables={"t": 0},
+        transitions=[
+            Transition("RED", "GREEN", guard=ge(var("t"), const(red_steps - 1)),
+                       actions=[Assign("t", const(0)), Assign("light", const(1))]),
+            Transition("RED", "RED",
+                       actions=[Assign("t", var("t") + const(1))]),
+            Transition("GREEN", "YELLOW", guard=gt(var("btn"), const(0)),
+                       actions=[Assign("t", const(0)), Assign("light", const(2))]),
+            Transition("GREEN", "YELLOW",
+                       guard=ge(var("t"), const(green_steps - 1)),
+                       actions=[Assign("t", const(0)), Assign("light", const(2))]),
+            Transition("GREEN", "GREEN",
+                       actions=[Assign("t", var("t") + const(1))]),
+            Transition("YELLOW", "RED",
+                       guard=ge(var("t"), const(yellow_steps - 1)),
+                       actions=[Assign("t", const(0)), Assign("light", const(0))]),
+            Transition("YELLOW", "YELLOW",
+                       actions=[Assign("t", var("t") + const(1))]),
+        ],
+    )
+
+
+def traffic_light_system(period_us: int = ms(100)) -> System:
+    """Two actors: a scripted pedestrian button and the light controller."""
+    # Press every 7th step: co-prime with the 10-step lamp cycle, so the
+    # request sweeps across all phases (including GREEN, which it shortens).
+    button_net = ComponentNetwork(
+        name="button_net",
+        blocks=[SequenceFB("script", values=[0] * 6 + [1], repeat=True)],
+        input_ports={},
+        output_ports={"btn": PortRef("script", "y")},
+    )
+    hmi = Actor(
+        name="pedestrian",
+        network=button_net,
+        task=TaskSpec(period_us=period_us, priority=1),
+        outputs={"btn": "btn"},
+    )
+    light_net = ComponentNetwork(
+        name="light_net",
+        blocks=[StateMachineFB("lamp", traffic_light_machine())],
+        input_ports={"btn": [PortRef("lamp", "btn")]},
+        output_ports={"light": PortRef("lamp", "light")},
+    )
+    controller = Actor(
+        name="lights",
+        network=light_net,
+        task=TaskSpec(period_us=period_us, priority=2),
+        inputs={"btn": "btn"},
+        outputs={"light": "light"},
+    )
+    return System(
+        "traffic_light",
+        signals=[Signal("btn"), Signal("light")],
+        actors=[hmi, controller],
+    )
+
+
+def cruise_mode_machine() -> StateMachine:
+    """Cruise-control supervisory mode logic.
+
+    OFF -> CRUISE on ``btn_set`` (captures current speed as setpoint);
+    CRUISE -> OFF on ``btn_cancel`` or when speed drops below 200 (stall
+    guard). ``mode`` output selects the modal controller (0=OFF, 1=CRUISE).
+    """
+    return StateMachine(
+        name="cruise_mode",
+        states=["OFF", "CRUISE"],
+        initial="OFF",
+        inputs=["btn_set", "btn_cancel", "speed"],
+        outputs=["mode", "setpoint"],
+        variables={},
+        transitions=[
+            Transition("OFF", "CRUISE", guard=gt(var("btn_set"), const(0)),
+                       actions=[Assign("mode", const(1)),
+                                Assign("setpoint", var("speed"))]),
+            Transition("CRUISE", "OFF", guard=gt(var("btn_cancel"), const(0)),
+                       actions=[Assign("mode", const(0)),
+                                Assign("setpoint", const(0))]),
+            Transition("CRUISE", "OFF", guard=lt(var("speed"), const(200)),
+                       actions=[Assign("mode", const(0)),
+                                Assign("setpoint", const(0))]),
+        ],
+    )
+
+
+def _cruise_off_mode() -> Mode:
+    """OFF mode: throttle forced to zero (inputs declared but unused)."""
+    network = ComponentNetwork(
+        name="off_net",
+        blocks=[SequenceFB("zero", values=[0])],
+        input_ports={"speed": [], "setpoint": []},
+        output_ports={"throttle": PortRef("zero", "y")},
+    )
+    return Mode("OFF", network)
+
+
+def _cruise_on_mode() -> Mode:
+    """CRUISE mode: PI control of speed toward the captured setpoint."""
+    network = ComponentNetwork(
+        name="pi_net",
+        blocks=[
+            SubFB("err"),                       # e = setpoint - speed
+            PiFB("pi", kp_num=3, kp_den=2, ki_num=1, ki_den=4, lo=0, hi=1000),
+        ],
+        connections=[Connection.wire("err.y", "pi.e")],
+        input_ports={
+            "setpoint": [PortRef("err", "a")],
+            "speed": [PortRef("err", "b")],
+        },
+        output_ports={"throttle": PortRef("pi", "y")},
+    )
+    return Mode("CRUISE", network)
+
+
+def cruise_control_system(period_us: int = ms(20)) -> System:
+    """The paper-style heterogeneous workload: FSM + modal dataflow + plant.
+
+    Three actors on two nodes:
+
+    * ``hmi`` — scripted set/cancel button presses (stimulus).
+    * ``controller`` — a StateMachineFB (mode logic) feeding a ModalFB
+      (OFF: zero throttle; CRUISE: PI control). This is the paper's
+      "heterogeneous model": a state instance invoking a dataflow instance.
+    * ``plant`` — vehicle longitudinal dynamics: speed integrates
+      (throttle - drag), with a unit delay breaking the feedback loop.
+    """
+    hmi_net = ComponentNetwork(
+        name="hmi_net",
+        blocks=[
+            SequenceFB("set_btn", values=[0, 0, 0, 0, 1] + [0] * 95, repeat=True),
+            SequenceFB("cancel_btn", values=[0] * 80 + [1] + [0] * 19, repeat=True),
+        ],
+        input_ports={},
+        output_ports={
+            "btn_set": PortRef("set_btn", "y"),
+            "btn_cancel": PortRef("cancel_btn", "y"),
+        },
+    )
+    hmi = Actor(
+        name="hmi",
+        network=hmi_net,
+        task=TaskSpec(period_us=period_us, priority=1),
+        outputs={"btn_set": "btn_set", "btn_cancel": "btn_cancel"},
+        node="node0",
+    )
+
+    controller_net = ComponentNetwork(
+        name="controller_net",
+        blocks=[
+            StateMachineFB("mode_logic", cruise_mode_machine()),
+            ModalFB("regulator", modes=[_cruise_off_mode(), _cruise_on_mode()]),
+        ],
+        connections=[
+            Connection.wire("mode_logic.mode", "regulator.mode"),
+            Connection.wire("mode_logic.setpoint", "regulator.setpoint"),
+        ],
+        input_ports={
+            "btn_set": [PortRef("mode_logic", "btn_set")],
+            "btn_cancel": [PortRef("mode_logic", "btn_cancel")],
+            "speed": [
+                PortRef("mode_logic", "speed"),
+                PortRef("regulator", "speed"),
+            ],
+        },
+        output_ports={
+            "throttle": PortRef("regulator", "throttle"),
+            "mode": PortRef("mode_logic", "mode"),
+        },
+    )
+    controller = Actor(
+        name="controller",
+        network=controller_net,
+        task=TaskSpec(period_us=period_us, priority=2),
+        inputs={"btn_set": "btn_set", "btn_cancel": "btn_cancel",
+                "speed": "speed"},
+        outputs={"throttle": "throttle", "mode": "mode"},
+        node="node0",
+    )
+
+    plant_net = ComponentNetwork(
+        name="plant_net",
+        blocks=[
+            DelayFB("speed_z", init=300),        # previous speed (feedback)
+            GainFB("drag", num=1, den=4),        # drag = speed / 4
+            SubFB("net_force"),                  # throttle - drag
+            IntegratorFB("dynamics", num=1, den=8, lo=0, hi=4000, init=300),
+        ],
+        connections=[
+            Connection.wire("speed_z.y", "drag.u"),
+            Connection.wire("drag.y", "net_force.b"),
+            Connection.wire("net_force.y", "dynamics.u"),
+            Connection.wire("dynamics.y", "speed_z.u"),
+        ],
+        input_ports={"throttle": [PortRef("net_force", "a")]},
+        output_ports={"speed": PortRef("dynamics", "y")},
+    )
+    plant = Actor(
+        name="plant",
+        network=plant_net,
+        task=TaskSpec(period_us=period_us, priority=3),
+        inputs={"throttle": "throttle"},
+        outputs={"speed": "speed"},
+        node="node1",
+    )
+
+    return System(
+        "cruise_control",
+        signals=[
+            Signal("btn_set"), Signal("btn_cancel"),
+            Signal("speed", init=300, unit="mm/s"),
+            Signal("throttle", unit="0.1%"),
+            Signal("mode"),
+        ],
+        actors=[hmi, controller, plant],
+    )
+
+
+def conveyor_machine(travel_steps: int = 2) -> StateMachine:
+    """Conveyor control: feed an item to the press, wait for completion.
+
+    IDLE -> MOVING on an item arrival (belt on); MOVING -> DELIVER after the
+    travel time (belt off, item handed to the press); DELIVER -> IDLE once
+    the press reports done.
+    """
+    return StateMachine(
+        name="conveyor",
+        states=["IDLE", "MOVING", "DELIVER"],
+        initial="IDLE",
+        inputs=["item_present", "press_done"],
+        outputs=["belt", "at_press"],
+        variables={"t": 0},
+        transitions=[
+            Transition("IDLE", "MOVING", guard=gt(var("item_present"), const(0)),
+                       actions=[Assign("belt", const(1)),
+                                Assign("t", const(0))]),
+            Transition("MOVING", "DELIVER",
+                       guard=ge(var("t"), const(travel_steps)),
+                       actions=[Assign("belt", const(0)),
+                                Assign("at_press", const(1)),
+                                Assign("t", const(0))]),
+            Transition("MOVING", "MOVING",
+                       actions=[Assign("t", var("t") + const(1))]),
+            Transition("DELIVER", "IDLE",
+                       guard=gt(var("press_done"), const(0)),
+                       actions=[Assign("at_press", const(0))]),
+        ],
+    )
+
+
+def press_machine(press_steps: int = 1) -> StateMachine:
+    """Press control with a completion handshake.
+
+    OPEN -> PRESSING when an item waits (and the previous handshake is
+    cleared); PRESSING -> OPENING after the press time; OPENING -> OPEN,
+    signalling done. The done flag resets once the conveyor takes the item
+    away.
+    """
+    return StateMachine(
+        name="press",
+        states=["OPEN", "PRESSING", "OPENING"],
+        initial="OPEN",
+        inputs=["at_press"],
+        outputs=["press_done"],
+        variables={"t": 0},
+        transitions=[
+            Transition("OPEN", "PRESSING",
+                       guard=band(gt(var("at_press"), const(0)),
+                                  eq(var("press_done"), const(0))),
+                       actions=[Assign("t", const(0))]),
+            Transition("OPEN", "OPEN",
+                       guard=band(eq(var("at_press"), const(0)),
+                                  eq(var("press_done"), const(1))),
+                       actions=[Assign("press_done", const(0))]),
+            Transition("PRESSING", "OPENING",
+                       guard=ge(var("t"), const(press_steps)),
+                       actions=[Assign("t", const(0))]),
+            Transition("PRESSING", "PRESSING",
+                       actions=[Assign("t", var("t") + const(1))]),
+            Transition("OPENING", "OPEN",
+                       actions=[Assign("press_done", const(1))]),
+        ],
+    )
+
+
+def production_cell_system(period_us: int = ms(50)) -> System:
+    """A small production cell: feeder -> conveyor -> press.
+
+    The paper's domain is distributed embedded *control*; this workload has
+    the safety property such systems live by: the press must never close
+    while the belt is running (checked by a cross-actor invariant monitor in
+    :mod:`repro.experiments.requirements`).
+    """
+    feeder_net = ComponentNetwork(
+        name="feeder_net",
+        blocks=[SequenceFB("items", values=[1] + [0] * 9, repeat=True)],
+        output_ports={"item_present": PortRef("items", "y")},
+    )
+    feeder = Actor(
+        name="feeder",
+        network=feeder_net,
+        task=TaskSpec(period_us=period_us, priority=1),
+        outputs={"item_present": "item_present"},
+    )
+    conveyor_net = ComponentNetwork(
+        name="conveyor_net",
+        blocks=[StateMachineFB("belt_ctl", conveyor_machine())],
+        input_ports={
+            "item_present": [PortRef("belt_ctl", "item_present")],
+            "press_done": [PortRef("belt_ctl", "press_done")],
+        },
+        output_ports={
+            "belt": PortRef("belt_ctl", "belt"),
+            "at_press": PortRef("belt_ctl", "at_press"),
+        },
+    )
+    conveyor = Actor(
+        name="conveyor",
+        network=conveyor_net,
+        task=TaskSpec(period_us=period_us, priority=2),
+        inputs={"item_present": "item_present", "press_done": "press_done"},
+        outputs={"belt": "belt", "at_press": "at_press"},
+    )
+    press_net = ComponentNetwork(
+        name="press_net",
+        blocks=[StateMachineFB("ram_ctl", press_machine())],
+        input_ports={"at_press": [PortRef("ram_ctl", "at_press")]},
+        output_ports={"press_done": PortRef("ram_ctl", "press_done")},
+    )
+    press = Actor(
+        name="press",
+        network=press_net,
+        task=TaskSpec(period_us=period_us, priority=3),
+        inputs={"at_press": "at_press"},
+        outputs={"press_done": "press_done"},
+    )
+    return System(
+        "production_cell",
+        signals=[Signal("item_present"), Signal("belt"),
+                 Signal("at_press"), Signal("press_done")],
+        actors=[feeder, conveyor, press],
+    )

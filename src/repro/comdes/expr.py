@@ -1,0 +1,234 @@
+"""Integer expression AST for guards and actions.
+
+Expressions appear in state-machine transition guards and actions. They are
+evaluated by the reference interpreter (here) and *also* lowered to target
+bytecode by :mod:`repro.codegen` — the differential tests in
+``tests/codegen`` assert both agree on random expressions.
+
+Arithmetic follows the target CPU: signed 32-bit wraparound, C-style
+truncating division. Comparison and logic operators yield 0/1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import ModelError
+from repro.util.intmath import sdiv, smod, wrap32
+
+#: Binary operators -> reference semantics.
+_BINARY_OPS = {
+    "add": lambda a, b: wrap32(a + b),
+    "sub": lambda a, b: wrap32(a - b),
+    "mul": lambda a, b: wrap32(a * b),
+    "div": sdiv,
+    "mod": smod,
+    "min": lambda a, b: a if a <= b else b,
+    "max": lambda a, b: a if a >= b else b,
+    "and": lambda a, b: 1 if (a != 0 and b != 0) else 0,
+    "or": lambda a, b: 1 if (a != 0 or b != 0) else 0,
+    "eq": lambda a, b: 1 if a == b else 0,
+    "ne": lambda a, b: 1 if a != b else 0,
+    "lt": lambda a, b: 1 if a < b else 0,
+    "le": lambda a, b: 1 if a <= b else 0,
+    "gt": lambda a, b: 1 if a > b else 0,
+    "ge": lambda a, b: 1 if a >= b else 0,
+}
+
+_UNARY_OPS = {
+    "neg": lambda a: wrap32(-a),
+    "not": lambda a: 0 if a != 0 else 1,
+}
+
+
+class Expr:
+    """Base expression node. Subclasses: Const, Var, Unary, Binary."""
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        """Evaluate under *env* (name -> 32-bit int)."""
+        raise NotImplementedError
+
+    def free_vars(self) -> Tuple[str, ...]:
+        """Variable names read by this expression, in first-use order."""
+        seen: Dict[str, None] = {}
+        for node in self.walk():
+            if isinstance(node, Var) and node.name not in seen:
+                seen[node.name] = None
+        return tuple(seen)
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+
+    # Arithmetic operator sugar so model code reads naturally.
+    def __add__(self, other: "Expr") -> "Expr":
+        return Binary("add", self, _coerce(other))
+
+    def __sub__(self, other: "Expr") -> "Expr":
+        return Binary("sub", self, _coerce(other))
+
+    def __mul__(self, other: "Expr") -> "Expr":
+        return Binary("mul", self, _coerce(other))
+
+    def __floordiv__(self, other: "Expr") -> "Expr":
+        return Binary("div", self, _coerce(other))
+
+    def __mod__(self, other: "Expr") -> "Expr":
+        return Binary("mod", self, _coerce(other))
+
+    def __neg__(self) -> "Expr":
+        return Unary("neg", self)
+
+
+def _coerce(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return Const(value)
+    raise ModelError(f"cannot use {value!r} in an expression")
+
+
+class Const(Expr):
+    """A literal 32-bit constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = wrap32(value)
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Var(Expr):
+    """A named variable (signal, FSM variable or block port)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        try:
+            return wrap32(env[self.name])
+        except KeyError:
+            raise ModelError(f"unbound variable {self.name!r} in expression") from None
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Unary(Expr):
+    """Unary operation: ``neg`` or logical ``not``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        if op not in _UNARY_OPS:
+            raise ModelError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return _UNARY_OPS[self.op](self.operand.eval(env))
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.operand.walk()
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+class Binary(Expr):
+    """Binary operation over two sub-expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _BINARY_OPS:
+            raise ModelError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        return _BINARY_OPS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+# -- convenience constructors ------------------------------------------------
+
+def const(value: int) -> Const:
+    """Literal constant."""
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    """Named variable."""
+    return Var(name)
+
+
+def eq(a, b) -> Binary:
+    """a == b (0/1)."""
+    return Binary("eq", _coerce(a), _coerce(b))
+
+
+def ne(a, b) -> Binary:
+    """a != b (0/1)."""
+    return Binary("ne", _coerce(a), _coerce(b))
+
+
+def lt(a, b) -> Binary:
+    """a < b (0/1)."""
+    return Binary("lt", _coerce(a), _coerce(b))
+
+
+def le(a, b) -> Binary:
+    """a <= b (0/1)."""
+    return Binary("le", _coerce(a), _coerce(b))
+
+
+def gt(a, b) -> Binary:
+    """a > b (0/1)."""
+    return Binary("gt", _coerce(a), _coerce(b))
+
+
+def ge(a, b) -> Binary:
+    """a >= b (0/1)."""
+    return Binary("ge", _coerce(a), _coerce(b))
+
+
+def band(a, b) -> Binary:
+    """Logical AND over 0/1 ints."""
+    return Binary("and", _coerce(a), _coerce(b))
+
+
+def bor(a, b) -> Binary:
+    """Logical OR over 0/1 ints."""
+    return Binary("or", _coerce(a), _coerce(b))
+
+
+def lnot(a) -> Unary:
+    """Logical NOT over 0/1 ints."""
+    return Unary("not", _coerce(a))
+
+
+def minimum(a, b) -> Binary:
+    """min(a, b)."""
+    return Binary("min", _coerce(a), _coerce(b))
+
+
+def maximum(a, b) -> Binary:
+    """max(a, b)."""
+    return Binary("max", _coerce(a), _coerce(b))

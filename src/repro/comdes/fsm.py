@@ -1,0 +1,178 @@
+"""State machine models (state transition graphs).
+
+COMDES specifies stateful component behaviour as event-driven state
+machines: named states, transitions with integer guards and assignment
+actions. The class doubles as the reference interpreter — ``step`` computes
+one synchronous reaction, which compiled target code must match exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.comdes.expr import Const, Expr
+from repro.errors import ModelError, ValidationError
+
+
+class Assign:
+    """An action ``target := expr`` executed when a transition fires."""
+
+    __slots__ = ("target", "expr")
+
+    def __init__(self, target: str, expr: Expr) -> None:
+        self.target = target
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"{self.target} := {self.expr!r}"
+
+
+class Transition:
+    """A guarded transition between two named states.
+
+    Transitions out of a state are tried in declaration order; the first
+    whose guard evaluates non-zero fires (deterministic priority semantics).
+    """
+
+    def __init__(self, source: str, target: str, guard: Optional[Expr] = None,
+                 actions: Sequence[Assign] = ()) -> None:
+        self.source = source
+        self.target = target
+        self.guard: Expr = guard if guard is not None else Const(1)
+        self.actions: List[Assign] = list(actions)
+
+    def __repr__(self) -> str:
+        return f"<Transition {self.source}->{self.target} [{self.guard!r}]>"
+
+
+class StateMachine:
+    """An event-driven finite state machine over integer variables.
+
+    ``inputs`` are read-only names provided by the environment each step;
+    ``outputs`` and ``variables`` are written by actions. Variables persist
+    between steps; outputs are re-written (or hold their last value).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Sequence[str],
+        initial: str,
+        transitions: Sequence[Transition],
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        variables: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self.name = name
+        self.states = list(states)
+        self.initial = initial
+        self.transitions = list(transitions)
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.variables: Dict[str, int] = dict(variables or {})
+        self.check()
+
+    # -- structure ---------------------------------------------------------
+
+    def check(self) -> None:
+        """Raise ValidationError on malformed structure."""
+        problems: List[str] = []
+        if len(set(self.states)) != len(self.states):
+            problems.append(f"{self.name}: duplicate state names")
+        if self.initial not in self.states:
+            problems.append(f"{self.name}: initial state {self.initial!r} undefined")
+        known = set(self.states)
+        writable = set(self.outputs) | set(self.variables)
+        readable = set(self.inputs) | writable
+        for t in self.transitions:
+            if t.source not in known:
+                problems.append(f"{self.name}: transition from unknown state {t.source!r}")
+            if t.target not in known:
+                problems.append(f"{self.name}: transition to unknown state {t.target!r}")
+            for name in t.guard.free_vars():
+                if name not in readable:
+                    problems.append(
+                        f"{self.name}: guard of {t.source}->{t.target} reads "
+                        f"undeclared {name!r}"
+                    )
+            for action in t.actions:
+                if action.target not in writable:
+                    problems.append(
+                        f"{self.name}: action writes undeclared {action.target!r}"
+                    )
+                for name in action.expr.free_vars():
+                    if name not in readable:
+                        problems.append(
+                            f"{self.name}: action expr reads undeclared {name!r}"
+                        )
+        if problems:
+            raise ValidationError(problems)
+
+    def transitions_from(self, state: str) -> List[Transition]:
+        """Outgoing transitions of *state* in priority (declaration) order."""
+        return [t for t in self.transitions if t.source == state]
+
+    def reachable_states(self) -> List[str]:
+        """States reachable from the initial state through the transition graph."""
+        adjacency: Dict[str, List[str]] = {}
+        for t in self.transitions:
+            adjacency.setdefault(t.source, []).append(t.target)
+        seen = [self.initial]
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for nxt in adjacency.get(state, ()):
+                if nxt not in seen:
+                    seen.append(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    # -- reference semantics -------------------------------------------------
+
+    def initial_env(self) -> Dict[str, int]:
+        """Fresh variable/output environment for a run."""
+        env = {name: 0 for name in self.outputs}
+        env.update(self.variables)
+        return env
+
+    def step(self, state: str, env: Mapping[str, int],
+             inputs: Mapping[str, int]) -> Tuple[str, Dict[str, int]]:
+        """One synchronous reaction.
+
+        Returns ``(next_state, new_env)`` where *new_env* holds outputs and
+        variables after any fired transition's actions. At most one
+        transition fires per step (priority = declaration order).
+        """
+        if state not in self.states:
+            raise ModelError(f"{self.name}: unknown state {state!r}")
+        scope: Dict[str, int] = dict(env)
+        for name in self.inputs:
+            if name not in inputs:
+                raise ModelError(f"{self.name}: missing input {name!r}")
+            scope[name] = inputs[name]
+        new_env = dict(env)
+        for t in self.transitions_from(state):
+            if t.guard.eval(scope) != 0:
+                for action in t.actions:
+                    value = action.expr.eval({**scope, **new_env})
+                    new_env[action.target] = value
+                return t.target, new_env
+        return state, new_env
+
+    def run(self, input_trace: Sequence[Mapping[str, int]]) -> List[Tuple[str, Dict[str, int]]]:
+        """Run from the initial state over a sequence of input maps.
+
+        Returns the list of (state, env) pairs *after* each step — the
+        reference trajectory used by differential tests.
+        """
+        state = self.initial
+        env = self.initial_env()
+        trajectory: List[Tuple[str, Dict[str, int]]] = []
+        for inputs in input_trace:
+            state, env = self.step(state, env, inputs)
+            trajectory.append((state, dict(env)))
+        return trajectory
+
+    def __repr__(self) -> str:
+        return (f"<StateMachine {self.name}: {len(self.states)} states, "
+                f"{len(self.transitions)} transitions>")

@@ -1,0 +1,111 @@
+"""Modal function blocks: mode-switched inner networks.
+
+A modal block owns several *modes*, each an inner component network with an
+identical port signature. A ``mode`` selector input picks which network runs
+this step; the other modes' states are frozen. This is COMDES's construct
+for systems whose control law changes with an operating mode (startup /
+normal / degraded, off / cruise, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.comdes.blocks import BlockState, FunctionBlock, PortValues
+from repro.comdes.dataflow import ComponentNetwork
+from repro.errors import ModelError
+
+MODE_SELECTOR_PORT = "mode"
+
+
+class Mode:
+    """One operating mode: a name plus its inner network."""
+
+    def __init__(self, name: str, network: ComponentNetwork) -> None:
+        self.name = name
+        self.network = network
+
+    def __repr__(self) -> str:
+        return f"<Mode {self.name}>"
+
+
+class ModalFB(FunctionBlock):
+    """A function block that dispatches to one of several inner networks.
+
+    The selector input ``mode`` is clamped to the valid mode index range, so
+    a wild selector value degrades to the last mode instead of trapping —
+    matching the defensive style of embedded mode logic.
+    """
+
+    kind = "modal"
+
+    def __init__(self, name: str, modes: Sequence[Mode]) -> None:
+        if not modes:
+            raise ModelError(f"modal block {name}: needs at least one mode")
+        signature = None
+        for mode in modes:
+            this_signature = (
+                tuple(sorted(mode.network.input_ports)),
+                tuple(sorted(mode.network.output_ports)),
+            )
+            if signature is None:
+                signature = this_signature
+            elif this_signature != signature:
+                raise ModelError(
+                    f"modal block {name}: mode {mode.name!r} port signature "
+                    f"{this_signature} differs from {signature}"
+                )
+        data_inputs = list(signature[0])
+        outputs = list(signature[1])
+        if MODE_SELECTOR_PORT in data_inputs:
+            raise ModelError(
+                f"modal block {name}: inner networks must not use the reserved "
+                f"port name {MODE_SELECTOR_PORT!r}"
+            )
+        super().__init__(name, inputs=[MODE_SELECTOR_PORT] + data_inputs, outputs=outputs)
+        self.modes: List[Mode] = list(modes)
+        self.data_inputs = data_inputs
+
+    def mode_index(self, selector: int) -> int:
+        """Clamp a selector value into the valid mode index range."""
+        return min(max(selector, 0), len(self.modes) - 1)
+
+    def state_vars(self) -> BlockState:
+        """Flatten every mode's network state under a ``m<i>.block.var`` prefix.
+
+        Outputs also persist (``_out_<port>``) so an inactive mode's last
+        outputs hold if a mode produces no value for a port.
+        """
+        state: BlockState = {}
+        for i, mode in enumerate(self.modes):
+            for block_name, block_state in mode.network.initial_state().items():
+                for var, value in block_state.items():
+                    state[f"m{i}.{block_name}.{var}"] = value
+        for port in self.outputs:
+            state[f"_out_{port}"] = 0
+        return state
+
+    def _unflatten(self, state: BlockState, index: int) -> Dict[str, BlockState]:
+        prefix = f"m{index}."
+        network_state: Dict[str, BlockState] = {}
+        for key, value in state.items():
+            if key.startswith(prefix):
+                block_name, var = key[len(prefix):].split(".", 1)
+                network_state.setdefault(block_name, {})[var] = value
+        return network_state
+
+    def behavior(self, inputs: PortValues, state: BlockState) -> Tuple[PortValues, BlockState]:
+        self._require(inputs)
+        index = self.mode_index(inputs[MODE_SELECTOR_PORT])
+        mode = self.modes[index]
+        inner_inputs = {port: inputs[port] for port in self.data_inputs}
+        inner_state = self._unflatten(state, index)
+        outputs, new_inner_state = mode.network.step(inner_inputs, inner_state)
+
+        new_state = dict(state)
+        for block_name, block_state in new_inner_state.items():
+            for var, value in block_state.items():
+                new_state[f"m{index}.{block_name}.{var}"] = value
+        for port in self.outputs:
+            new_state[f"_out_{port}"] = outputs[port]
+        return outputs, new_state

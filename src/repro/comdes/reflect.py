@@ -1,0 +1,203 @@
+"""Reflection bridge: native COMDES objects -> reflective model.
+
+GMDF's abstraction engine only understands the reflective API of
+:mod:`repro.meta`; this module converts a native :class:`~repro.comdes.system.System`
+into a conforming model. Every created object carries a stable **source
+path** (its ``path`` attribute) — the same path strings appear in debug
+commands emitted by generated code, which is how the runtime engine routes a
+command to the right GDM element.
+
+Path conventions::
+
+    actor:<actor>                          an actor
+    net:<actor>[.<scope>]                  a network (scope for nested ones)
+    block:<actor>.<...>.<block>            a function block
+    state:<actor>.<...>.<block>.<state>    a state of a state machine FB
+    trans:<actor>.<...>.<block>.<src>-><dst>
+    conn:<actor>[.<scope>].<src>-><dst>
+    port:<actor>.<in|out>.<name>
+    signal:<name>
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.comdes.blocks import FunctionBlock, StateMachineFB
+from repro.comdes.composite import CompositeFB
+from repro.comdes.dataflow import ComponentNetwork
+from repro.comdes.metamodel import comdes_metamodel
+from repro.comdes.modal import ModalFB
+from repro.comdes.system import System
+from repro.meta.model import Model, ModelObject
+
+
+def state_path(actor: str, block_scope: str, state: str) -> str:
+    """Canonical path of a state: ``state:<actor>.<scope>.<state>``."""
+    return f"state:{actor}.{block_scope}.{state}"
+
+
+def block_path(actor: str, block_scope: str) -> str:
+    """Canonical path of a block: ``block:<actor>.<scope>``."""
+    return f"block:{actor}.{block_scope}"
+
+
+def signal_path(name: str) -> str:
+    """Canonical path of a signal: ``signal:<name>``."""
+    return f"signal:{name}"
+
+
+def system_to_model(system: System) -> Model:
+    """Convert a native system into a reflective model with source paths."""
+    metamodel = comdes_metamodel()
+    model = Model(metamodel, name=system.name)
+
+    root = model.create("System", name=system.name, path=f"system:{system.name}")
+    model.add_root(root)
+
+    signal_objects = {}
+    for signal in system.signals.values():
+        obj = model.create(
+            "Signal",
+            name=signal.name,
+            path=signal_path(signal.name),
+            init=signal.init,
+            unit=signal.unit,
+        )
+        root.add_ref("signals", obj)
+        signal_objects[signal.name] = obj
+
+    for actor in system.actors.values():
+        actor_obj = model.create(
+            "Actor",
+            name=actor.name,
+            path=f"actor:{actor.name}",
+            period_us=actor.task.period_us,
+            deadline_us=actor.task.deadline_us,
+            offset_us=actor.task.offset_us,
+            priority=actor.task.priority,
+            node=actor.node,
+        )
+        root.add_ref("actors", actor_obj)
+        for signal_name in actor.consumed_signals():
+            actor_obj.add_ref("consumes", signal_objects[signal_name])
+        for signal_name in actor.produced_signals():
+            actor_obj.add_ref("produces", signal_objects[signal_name])
+        network_obj = _reflect_network(
+            model, actor.network, actor_name=actor.name, scope=""
+        )
+        actor_obj.set_ref("network", network_obj)
+
+    return model
+
+
+def _scoped(actor_name: str, scope: str, leaf: str) -> str:
+    parts = [actor_name] + ([scope] if scope else []) + [leaf]
+    return ".".join(parts)
+
+
+def _reflect_network(model: Model, network: ComponentNetwork,
+                     actor_name: str, scope: str) -> ModelObject:
+    net_scope = f"{actor_name}.{scope}" if scope else actor_name
+    net_obj = model.create(
+        "Network", name=network.name, path=f"net:{net_scope}"
+    )
+    for direction, names in (("in", network.input_ports), ("out", network.output_ports)):
+        for port_name in names:
+            port_obj = model.create(
+                "Port",
+                name=port_name,
+                path=f"port:{net_scope}.{direction}.{port_name}",
+                direction=direction,
+            )
+            net_obj.add_ref("ports", port_obj)
+    for block in network.blocks:
+        net_obj.add_ref("blocks", _reflect_block(model, block, actor_name, scope))
+    for conn in network.connections:
+        conn_obj = model.create(
+            "Connection",
+            name=f"{conn.src}->{conn.dst}",
+            path=f"conn:{net_scope}.{conn.src}->{conn.dst}",
+            src=str(conn.src),
+            dst=str(conn.dst),
+        )
+        net_obj.add_ref("connections", conn_obj)
+    return net_obj
+
+
+def _reflect_block(model: Model, block: FunctionBlock,
+                   actor_name: str, scope: str) -> ModelObject:
+    block_scope = f"{scope}.{block.name}" if scope else block.name
+    path = block_path(actor_name, block_scope)
+
+    if isinstance(block, StateMachineFB):
+        obj = model.create("StateMachineFB", name=block.name, path=path,
+                           kind=block.kind)
+        machine = block.machine
+        machine_obj = model.create(
+            "StateMachine",
+            name=machine.name,
+            path=f"sm:{actor_name}.{block_scope}",
+            initial=machine.initial,
+        )
+        obj.set_ref("machine", machine_obj)
+        state_objects = {}
+        for state in machine.states:
+            state_obj = model.create(
+                "State",
+                name=state,
+                path=state_path(actor_name, block_scope, state),
+            )
+            machine_obj.add_ref("states", state_obj)
+            state_objects[state] = state_obj
+        for index, t in enumerate(machine.transitions):
+            # The index disambiguates parallel transitions between the same
+            # state pair (e.g. two CRUISE->OFF transitions with different guards).
+            t_obj = model.create(
+                "Transition",
+                name=f"{t.source}->{t.target}",
+                path=f"trans:{actor_name}.{block_scope}.{index}.{t.source}->{t.target}",
+                guard=repr(t.guard),
+                actions="; ".join(repr(a) for a in t.actions),
+            )
+            t_obj.set_ref("source", state_objects[t.source])
+            t_obj.set_ref("target", state_objects[t.target])
+            machine_obj.add_ref("transitions", t_obj)
+        return obj
+
+    if isinstance(block, ModalFB):
+        obj = model.create("ModalFB", name=block.name, path=path, kind=block.kind)
+        for mode in block.modes:
+            mode_obj = model.create(
+                "Mode",
+                name=mode.name,
+                path=f"mode:{actor_name}.{block_scope}.{mode.name}",
+            )
+            inner = _reflect_network(
+                model, mode.network, actor_name, f"{block_scope}.{mode.name}"
+            )
+            mode_obj.set_ref("network", inner)
+            obj.add_ref("modes", mode_obj)
+        return obj
+
+    if isinstance(block, CompositeFB):
+        obj = model.create("CompositeFB", name=block.name, path=path,
+                           kind=block.kind)
+        inner = _reflect_network(model, block.network, actor_name, block_scope)
+        obj.set_ref("subnetwork", inner)
+        return obj
+
+    params = ", ".join(f"{k}={v}" for k, v in sorted(block.params().items()))
+    return model.create("BasicFB", name=block.name, path=path,
+                        kind=block.kind, params=params)
+
+
+def collect_state_paths(system: System) -> List[str]:
+    """All state paths in the system (used to build command tables)."""
+    paths: List[str] = []
+    for actor in system.actors.values():
+        for block in actor.network.blocks:
+            if isinstance(block, StateMachineFB):
+                for state in block.machine.states:
+                    paths.append(state_path(actor.name, block.name, state))
+    return paths

@@ -1,0 +1,27 @@
+"""Labeled signals — COMDES's inter-actor messages.
+
+Actors communicate by *state messages*: a producer overwrites the signal's
+current value, consumers read the latest value without blocking. A signal is
+therefore just a named, typed cell with an initial value.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.util.intmath import wrap32
+
+
+class Signal:
+    """A labeled state-message signal exchanged between actors."""
+
+    def __init__(self, name: str, init: int = 0, unit: str = "", doc: str = "") -> None:
+        if not name or not name.isidentifier():
+            raise ModelError(f"signal name must be an identifier, got {name!r}")
+        self.name = name
+        self.init = wrap32(init)
+        self.unit = unit
+        self.doc = doc
+
+    def __repr__(self) -> str:
+        suffix = f" [{self.unit}]" if self.unit else ""
+        return f"<Signal {self.name}={self.init}{suffix}>"

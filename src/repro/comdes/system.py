@@ -1,0 +1,104 @@
+"""Systems: networks of distributed actors exchanging labeled signals."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.comdes.actor import Actor
+from repro.comdes.signals import Signal
+from repro.errors import ModelError
+
+
+class System:
+    """A COMDES application: signals + actors (possibly on several nodes)."""
+
+    def __init__(self, name: str, signals: Sequence[Signal],
+                 actors: Sequence[Actor]) -> None:
+        self.name = name
+        self.signals: Dict[str, Signal] = {}
+        for signal in signals:
+            if signal.name in self.signals:
+                raise ModelError(f"system {name}: duplicate signal {signal.name!r}")
+            self.signals[signal.name] = signal
+        self.actors: Dict[str, Actor] = {}
+        for actor in actors:
+            if actor.name in self.actors:
+                raise ModelError(f"system {name}: duplicate actor {actor.name!r}")
+            self.actors[actor.name] = actor
+
+    # -- structure ---------------------------------------------------------
+
+    def actor(self, name: str) -> Actor:
+        """Look up an actor by name."""
+        try:
+            return self.actors[name]
+        except KeyError:
+            raise ModelError(f"system {self.name}: no actor {name!r}") from None
+
+    def producers_of(self, signal_name: str) -> List[Actor]:
+        """Actors that write *signal_name*."""
+        return [a for a in self.actors.values() if signal_name in a.produced_signals()]
+
+    def consumers_of(self, signal_name: str) -> List[Actor]:
+        """Actors that read *signal_name*."""
+        return [a for a in self.actors.values() if signal_name in a.consumed_signals()]
+
+    def nodes(self) -> List[str]:
+        """Distinct node names hosting at least one actor, sorted."""
+        return sorted({a.node for a in self.actors.values()})
+
+    # -- reference semantics ---------------------------------------------
+
+    def initial_board(self) -> Dict[str, int]:
+        """Signal board (name -> value) at time zero."""
+        return {name: sig.init for name, sig in self.signals.items()}
+
+    def lockstep_run(self, rounds: int,
+                     overrides: Mapping[str, Sequence[int]] = None) -> List[Dict[str, int]]:
+        """Synchronous reference execution.
+
+        Every round, each actor reads a snapshot of the signal board taken at
+        the round start and performs one network step; all outputs are
+        published together at the round end. This matches Distributed Timed
+        Multitasking with deadline = period (inputs latched at release,
+        outputs at deadline), so the RTOS simulation is differentially tested
+        against it.
+
+        ``overrides`` optionally forces signal values per round (stimuli):
+        mapping signal name -> per-round value sequence.
+
+        Returns the board snapshot *after* each round.
+        """
+        overrides = overrides or {}
+        board = self.initial_board()
+        states = {
+            name: actor.network.initial_state()
+            for name, actor in self.actors.items()
+        }
+        order = sorted(
+            self.actors.values(), key=lambda a: (a.task.priority, a.name)
+        )
+        history: List[Dict[str, int]] = []
+        for round_index in range(rounds):
+            for signal_name, values in overrides.items():
+                if round_index < len(values):
+                    board[signal_name] = values[round_index]
+            snapshot = dict(board)
+            pending: Dict[str, int] = {}
+            for actor in order:
+                inputs = {
+                    port: snapshot[signal]
+                    for port, signal in actor.inputs.items()
+                }
+                outputs, states[actor.name] = actor.network.step(
+                    inputs, states[actor.name]
+                )
+                for port, signal in actor.outputs.items():
+                    pending[signal] = outputs[port]
+            board.update(pending)
+            history.append(dict(board))
+        return history
+
+    def __repr__(self) -> str:
+        return (f"<System {self.name}: {len(self.actors)} actors, "
+                f"{len(self.signals)} signals, nodes={self.nodes()}>")

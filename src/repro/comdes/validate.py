@@ -1,0 +1,46 @@
+"""System-level semantic validation for COMDES models."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.comdes.system import System
+from repro.errors import ValidationError
+
+
+def system_problems(system: System) -> List[str]:
+    """Collect semantic problems without raising."""
+    problems: List[str] = []
+    for actor in system.actors.values():
+        for port, signal in actor.inputs.items():
+            if signal not in system.signals:
+                problems.append(
+                    f"actor {actor.name}: input port {port!r} bound to "
+                    f"unknown signal {signal!r}"
+                )
+        for port, signal in actor.outputs.items():
+            if signal not in system.signals:
+                problems.append(
+                    f"actor {actor.name}: output port {port!r} bound to "
+                    f"unknown signal {signal!r}"
+                )
+    for signal_name in system.signals:
+        producers = system.producers_of(signal_name)
+        if len(producers) > 1:
+            names = sorted(a.name for a in producers)
+            problems.append(
+                f"signal {signal_name!r} has multiple producers: {names}"
+            )
+    # Signals nobody produces must be stimuli (consumed only) — fine; but a
+    # signal nobody touches at all is almost certainly a modeling slip.
+    for signal_name in system.signals:
+        if not system.producers_of(signal_name) and not system.consumers_of(signal_name):
+            problems.append(f"signal {signal_name!r} is never produced nor consumed")
+    return problems
+
+
+def validate_system(system: System) -> None:
+    """Raise :class:`ValidationError` listing all problems, if any."""
+    problems = system_problems(system)
+    if problems:
+        raise ValidationError(problems)

@@ -1,0 +1,29 @@
+"""Communication substrate: command protocol, RS-232, JTAG, USB transport.
+
+The paper defines two ways the target reaches the Graphical Debugger Model:
+
+* **active** — generated code contains extra EMIT instructions that send
+  command frames over a serial line (RS-232 in the prototype);
+* **passive** — a JTAG probe (IEEE 1149.1) scans monitored variables out of
+  the running chip over a USB/PCI host transport, with **zero** target-code
+  modification.
+
+Both are implemented here behind the common :class:`~repro.comm.channel.DebugChannel`
+interface the runtime engine consumes.
+"""
+
+from repro.comm.protocol import Command, CommandKind
+from repro.comm.frames import FrameDecoder, FrameError, decode_frame, encode_frame
+from repro.comm.rs232 import Rs232Link
+from repro.comm.usb import UsbTransport
+from repro.comm.jtag import JtagProbe, TapController, TapState
+from repro.comm.channel import ActiveChannel, DebugChannel, PassiveChannel
+
+__all__ = [
+    "Command", "CommandKind",
+    "encode_frame", "decode_frame", "FrameDecoder", "FrameError",
+    "Rs232Link",
+    "UsbTransport",
+    "TapState", "TapController", "JtagProbe",
+    "DebugChannel", "ActiveChannel", "PassiveChannel",
+]

@@ -1,0 +1,269 @@
+"""Debug channels: how commands travel from the target to the GDM.
+
+Both of the paper's command-interface solutions implement the same
+:class:`DebugChannel` contract, so the runtime engine is agnostic:
+
+* :class:`ActiveChannel` — instrumented code EMITs; frames cross an RS-232
+  link with UART FIFO accounting; the cost is target cycles per command.
+* :class:`PassiveChannel` — a JTAG probe polls monitored variables and
+  synthesizes commands on change; zero target cost, latency bounded by the
+  poll period plus scan time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.comdes.fsm import StateMachine
+from repro.comm.frames import FrameDecoder, encode_frame
+from repro.comm.jtag import JtagProbe
+from repro.comm.protocol import Command, CommandKind
+from repro.comm.rs232 import Rs232Link
+from repro.errors import CommError
+from repro.sim.kernel import Simulator
+from repro.target.board import Board
+from repro.target.firmware import FirmwareImage
+
+CommandHandler = Callable[[Command], None]
+
+
+class DebugChannel:
+    """Base class: fan-out of decoded commands to subscribers."""
+
+    def __init__(self) -> None:
+        self._handlers: List[CommandHandler] = []
+        self.commands_delivered = 0
+
+    def subscribe(self, handler: CommandHandler) -> None:
+        """Register a command consumer (the engine, trace recorders...)."""
+        self._handlers.append(handler)
+
+    def deliver(self, command: Command) -> None:
+        """Hand a command to every subscriber."""
+        self.commands_delivered += 1
+        for handler in list(self._handlers):
+            handler(command)
+
+    # Target control used by model-level breakpoints; channel-specific.
+    def halt_target(self) -> None:
+        raise NotImplementedError
+
+    def resume_target(self) -> None:
+        raise NotImplementedError
+
+
+class CompositeChannel(DebugChannel):
+    """Fans several channels (one per node) into one engine-facing channel."""
+
+    def __init__(self, children: Sequence[DebugChannel] = ()) -> None:
+        super().__init__()
+        self.children: List[DebugChannel] = []
+        for child in children:
+            self.add(child)
+
+    def add(self, child: DebugChannel) -> DebugChannel:
+        """Attach a child channel; its commands flow through this one."""
+        self.children.append(child)
+        child.subscribe(self.deliver)
+        return child
+
+    def halt_target(self) -> None:
+        """Stall every node."""
+        for child in self.children:
+            child.halt_target()
+
+    def resume_target(self) -> None:
+        """Release every node."""
+        for child in self.children:
+            child.resume_target()
+
+
+class ActiveChannel(DebugChannel):
+    """Active command interface: EMIT -> UART FIFO -> RS-232 -> decoder.
+
+    The RTOS (or any job runner) must call :meth:`begin_job` with the job's
+    release time before executing target code, so emission timestamps can be
+    derived from the CPU cycle counter.
+    """
+
+    def __init__(self, sim: Simulator, board: Board, firmware: FirmwareImage,
+                 link: Optional[Rs232Link] = None,
+                 host_latency_us: int = 50) -> None:
+        super().__init__()
+        self.sim = sim
+        self.board = board
+        self.firmware = firmware
+        self.link = link if link is not None else Rs232Link()
+        self.host_latency_us = host_latency_us
+        self.decoder = FrameDecoder()
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self._job_base_cycles = 0
+        self._job_base_time = 0
+        self._inflight: List[Tuple[int, int]] = []  # (t_done, nbytes)
+        board.cpu.emit_handler = self._on_emit
+
+    def begin_job(self, t_release: int) -> None:
+        """Anchor subsequent emissions to this job's release instant."""
+        self._job_base_cycles = self.board.cpu.cycles
+        self._job_base_time = t_release
+
+    def _on_emit(self, kind: int, path_id: int, value: int) -> None:
+        delta = self.board.cpu.cycles - self._job_base_cycles
+        t_emit = self._job_base_time + self.board.cycles_to_us(delta)
+        frame = encode_frame(kind, path_id, value)
+
+        # UART FIFO occupancy: bytes whose transmission has not finished.
+        self._inflight = [(done, n) for done, n in self._inflight if done > t_emit]
+        pending = sum(n for _, n in self._inflight)
+        if pending + len(frame) > self.board.uart.fifo_depth:
+            self.board.uart.overruns += 1
+            self.frames_dropped += 1
+            return
+
+        _, t_done = self.link.transmit(t_emit, len(frame))
+        self._inflight.append((t_done, len(frame)))
+        self.board.uart.bytes_sent += len(frame)
+        self.frames_sent += 1
+        wire_frame = self.link.corrupt(frame)  # line noise, if configured
+        t_arrive = max(t_done + self.host_latency_us, self.sim.now)
+        self.sim.schedule_at(t_arrive, self._deliver_frame, bytes(wire_frame),
+                             t_emit)
+
+    def _deliver_frame(self, frame: bytes, t_emit: int) -> None:
+        for kind, path_id, value in self.decoder.feed(frame):
+            command = Command(
+                CommandKind(kind), self.firmware.path_of_id(path_id), value,
+                t_target=t_emit, t_host=self.sim.now,
+            )
+            self.deliver(command)
+
+    def halt_target(self) -> None:
+        """Stall the target (debug-agent request carried over the serial RX)."""
+        self.board.stalled = True
+
+    def resume_target(self) -> None:
+        """Release the target."""
+        self.board.stalled = False
+
+
+class WatchSpec:
+    """One monitored variable for the passive channel.
+
+    ``make_command(value)`` maps a newly observed value to the command to
+    synthesize, or returns None to suppress (e.g. out-of-range state index).
+    """
+
+    def __init__(self, symbol: str,
+                 make_command: Callable[[int], Optional[Tuple[CommandKind, str, int]]]) -> None:
+        self.symbol = symbol
+        self.make_command = make_command
+
+    @classmethod
+    def signal(cls, producer_actor: str, port: str, signal_name: str) -> "WatchSpec":
+        """Watch an actor output word as a signal update."""
+        path = f"signal:{signal_name}"
+        return cls(f"{producer_actor}.out.{port}",
+                   lambda value: (CommandKind.SIG_UPDATE, path, value))
+
+    @classmethod
+    def state_machine(cls, actor_name: str, block_scope: str,
+                      machine: StateMachine) -> "WatchSpec":
+        """Watch a state variable; values map to STATE_ENTER commands."""
+        states = list(machine.states)
+
+        def make(value: int) -> Optional[Tuple[CommandKind, str, int]]:
+            if not (0 <= value < len(states)):
+                return None
+            path = f"state:{actor_name}.{block_scope}.{states[value]}"
+            return (CommandKind.STATE_ENTER, path, value)
+
+        return cls(f"{actor_name}.{block_scope}.$_state", make)
+
+    def __repr__(self) -> str:
+        return f"<WatchSpec {self.symbol}>"
+
+
+class PassiveChannel(DebugChannel):
+    """Passive command interface: periodic JTAG scan of monitored variables.
+
+    Every poll reads all watched words through the TAP (scan time charged at
+    TCK rate, one USB transaction per poll) and synthesizes a command for
+    each change. Between polls the target runs completely undisturbed.
+    """
+
+    def __init__(self, sim: Simulator, probe: JtagProbe,
+                 firmware: FirmwareImage, watches: Sequence[WatchSpec],
+                 poll_period_us: int = 500) -> None:
+        super().__init__()
+        if poll_period_us <= 0:
+            raise CommError(f"poll period must be positive, got {poll_period_us}")
+        if not watches:
+            raise CommError("passive channel needs at least one watch")
+        self.sim = sim
+        self.probe = probe
+        self.firmware = firmware
+        self.watches = list(watches)
+        self.poll_period_us = poll_period_us
+        self.polls = 0
+        self.scan_us_total = 0
+        self._last: Dict[str, int] = {}
+        self._running = False
+        for watch in self.watches:
+            firmware.symbols.lookup(watch.symbol)  # fail fast on bad names
+
+    def start(self) -> None:
+        """Baseline all watches silently, then poll periodically."""
+        if self._running:
+            raise CommError("passive channel already started")
+        self._running = True
+        for watch in self.watches:
+            addr = self.firmware.symbols.addr_of(watch.symbol)
+            self._last[watch.symbol], _ = self.probe.read_word_timed(
+                addr, charge_transport=False
+            )
+        self.sim.every(self.poll_period_us, self._poll)
+
+    def stop(self) -> None:
+        """Stop scheduling polls (takes effect at the next tick)."""
+        self._running = False
+
+    def _poll(self) -> None:
+        if not self._running:
+            return
+        self.polls += 1
+        t_poll = self.sim.now
+        scan_cost = 0
+        changes: List[Tuple[WatchSpec, int]] = []
+        for watch in self.watches:
+            addr = self.firmware.symbols.addr_of(watch.symbol)
+            value, cost = self.probe.read_word_timed(addr, charge_transport=False)
+            scan_cost += cost
+            if value != self._last[watch.symbol]:
+                self._last[watch.symbol] = value
+                changes.append((watch, value))
+        if self.probe.transport is not None:
+            scan_cost += self.probe.transport.transaction_cost_us(
+                2 * len(self.watches)
+            )
+        self.scan_us_total += scan_cost
+        for watch, value in changes:
+            made = watch.make_command(value)
+            if made is None:
+                continue
+            kind, path, mapped = made
+            self.sim.schedule(scan_cost, self._deliver_change,
+                              kind, path, mapped, t_poll)
+
+    def _deliver_change(self, kind: CommandKind, path: str, value: int,
+                        t_poll: int) -> None:
+        self.deliver(Command(kind, path, value,
+                             t_target=t_poll, t_host=self.sim.now))
+
+    def halt_target(self) -> None:
+        """Stall the target through the TAP HALT instruction."""
+        self.probe.halt_target()
+
+    def resume_target(self) -> None:
+        """Release the target through the TAP RESUME instruction."""
+        self.probe.resume_target()

@@ -1,0 +1,96 @@
+"""Wire format of debug command frames.
+
+A frame is 10 bytes::
+
+    SOF(0x7E)  LEN  KIND  PATH_ID(2, LE)  VALUE(4, LE signed)  CHECKSUM
+
+``LEN`` counts the bytes between itself and the checksum (always 7 here but
+kept on the wire for forward compatibility). The checksum is the modulo-256
+sum of LEN..VALUE. The decoder is a resynchronizing state machine: garbage
+and corrupted frames are counted and skipped, never fatal — a debugger must
+survive a noisy serial line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import CommError
+from repro.util.intmath import wrap32
+
+SOF = 0x7E
+PAYLOAD_LEN = 7  # KIND(1) + PATH_ID(2) + VALUE(4)
+FRAME_LEN = 10   # SOF + LEN + payload + checksum
+
+MAX_PATH_ID = 0xFFFF
+
+
+class FrameError(CommError):
+    """A frame could not be encoded (bad field ranges)."""
+
+
+def _checksum(data: bytes) -> int:
+    return sum(data) & 0xFF
+
+
+def encode_frame(kind: int, path_id: int, value: int) -> bytes:
+    """Encode one command frame."""
+    if not (0 <= kind <= 0xFF):
+        raise FrameError(f"kind {kind} out of byte range")
+    if not (0 <= path_id <= MAX_PATH_ID):
+        raise FrameError(f"path id {path_id} out of range 0..{MAX_PATH_ID}")
+    value = wrap32(value) & 0xFFFFFFFF
+    body = bytes([
+        PAYLOAD_LEN,
+        kind,
+        path_id & 0xFF, (path_id >> 8) & 0xFF,
+        value & 0xFF, (value >> 8) & 0xFF,
+        (value >> 16) & 0xFF, (value >> 24) & 0xFF,
+    ])
+    return bytes([SOF]) + body + bytes([_checksum(body)])
+
+
+def decode_frame(frame: bytes) -> Tuple[int, int, int]:
+    """Decode exactly one well-formed frame (raises on any corruption)."""
+    decoder = FrameDecoder()
+    commands = decoder.feed(frame)
+    if decoder.checksum_errors or decoder.framing_errors:
+        raise FrameError("corrupted frame")
+    if len(commands) != 1:
+        raise FrameError(f"expected 1 frame, decoded {len(commands)}")
+    return commands[0]
+
+
+class FrameDecoder:
+    """Streaming decoder; feed() bytes in any chunking."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+        self.checksum_errors = 0
+        self.framing_errors = 0
+
+    def feed(self, data: bytes) -> List[Tuple[int, int, int]]:
+        """Consume *data*; return decoded (kind, path_id, value) tuples."""
+        self._buffer.extend(data)
+        out: List[Tuple[int, int, int]] = []
+        while True:
+            # Resynchronize on SOF.
+            while self._buffer and self._buffer[0] != SOF:
+                self._buffer.pop(0)
+                self.framing_errors += 1
+            if len(self._buffer) < FRAME_LEN:
+                return out
+            frame = bytes(self._buffer[:FRAME_LEN])
+            body = frame[1:-1]
+            if frame[1] != PAYLOAD_LEN or _checksum(body) != frame[-1]:
+                # Corrupt: drop the SOF and rescan (classic resync).
+                self._buffer.pop(0)
+                self.checksum_errors += 1
+                continue
+            del self._buffer[:FRAME_LEN]
+            kind = body[1]
+            path_id = body[2] | (body[3] << 8)
+            raw = (body[4] | (body[5] << 8) | (body[6] << 16) | (body[7] << 24))
+            out.append((kind, path_id, wrap32(raw)))
+            self.frames_decoded += 1

@@ -1,0 +1,31 @@
+"""Host-side USB/PCI transport cost model.
+
+The paper's passive setup sends monitoring instructions to the JTAG probe
+"through the USB/PCI protocol". What matters for debugger latency is the
+per-transaction round-trip cost (USB frame scheduling dominates on real
+probes), modeled here as a fixed latency plus a per-word cost.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CommError
+
+
+class UsbTransport:
+    """Round-trip cost model for host <-> probe transactions."""
+
+    def __init__(self, latency_us: int = 125, per_word_us: int = 2) -> None:
+        if latency_us < 0 or per_word_us < 0:
+            raise CommError("transport costs must be non-negative")
+        self.latency_us = latency_us
+        self.per_word_us = per_word_us
+        self.transactions = 0
+        self.words_moved = 0
+
+    def transaction_cost_us(self, words: int) -> int:
+        """Cost of one transaction moving *words* 32-bit words."""
+        if words < 0:
+            raise CommError(f"words must be non-negative, got {words}")
+        self.transactions += 1
+        self.words_moved += words
+        return self.latency_us + words * self.per_word_us

@@ -1,0 +1,13 @@
+"""Code-level baseline debugger (the GDB/DDD of the paper's related work).
+
+GMDF's value proposition is debugging at the *model* level; the natural
+baseline is a source-level debugger over the generated code: breakpoints on
+instructions, hardware watchpoints on variables, symbol inspection. The
+detection experiment (E9) runs both debuggers against the same injected
+faults.
+"""
+
+from repro.debugger.gdb import SourceDebugger, WatchHit
+from repro.debugger.watch import Watchpoint
+
+__all__ = ["SourceDebugger", "WatchHit", "Watchpoint"]

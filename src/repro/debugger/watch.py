@@ -1,0 +1,45 @@
+"""Watchpoints: conditions over raw memory words.
+
+A watchpoint sees addresses and integers — it has no notion of states,
+transitions or model sequencing. That asymmetry against model-level
+monitors is exactly what the detection experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+#: predicate over the new value; None means "any change"
+WatchPredicate = Optional[Callable[[int], bool]]
+
+
+class Watchpoint:
+    """A (hardware) watchpoint on one RAM word."""
+
+    def __init__(self, symbol: str, addr: int,
+                 predicate: WatchPredicate = None,
+                 description: str = "") -> None:
+        self.symbol = symbol
+        self.addr = addr
+        self.predicate = predicate
+        self.description = description or (
+            f"watch {symbol} ({'change' if predicate is None else 'condition'})"
+        )
+        self.enabled = True
+        self.hits = 0
+
+    def check(self, value: int, previous: Optional[int]) -> bool:
+        """Whether a write of *value* (from *previous*) trips this watchpoint."""
+        if not self.enabled:
+            return False
+        if self.predicate is not None:
+            tripped = self.predicate(value)
+        else:
+            tripped = previous is None or value != previous
+        if tripped:
+            self.hits += 1
+        return tripped
+
+    def __repr__(self) -> str:
+        return f"<Watchpoint {self.symbol}@0x{self.addr:08x} hits={self.hits}>"

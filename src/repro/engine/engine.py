@@ -1,0 +1,163 @@
+"""The event-driven debugger engine (the FSM of paper Fig 3).
+
+States: DISCONNECTED -> WAITING <-> REACTING, with PAUSED entered on a
+breakpoint hit and left by resume/step, and REPLAYING while a replay player
+owns the model. Observers (monitors, animation capture, UI) subscribe to
+the engine's event bus topics: ``command``, ``reaction``, ``breakpoint``,
+``engine_state``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.comm.channel import DebugChannel
+from repro.comm.protocol import Command
+from repro.engine.breakpoints import BreakpointManager
+from repro.engine.trace import ExecutionTrace
+from repro.errors import DebuggerError
+from repro.gdm.model import GdmModel
+from repro.gdm.reactions import ReactionRecord, apply_reaction, decay_pulses
+from repro.render.animation import FrameSequence
+from repro.util.events import EventBus
+
+
+class EngineState(enum.Enum):
+    """Engine FSM states."""
+
+    DISCONNECTED = "DISCONNECTED"
+    WAITING = "WAITING"
+    REACTING = "REACTING"
+    PAUSED = "PAUSED"
+    REPLAYING = "REPLAYING"
+
+
+class DebuggerEngine:
+    """Animates a debug model from channel commands."""
+
+    def __init__(self, gdm: GdmModel,
+                 channel: Optional[DebugChannel] = None,
+                 capture_frames: bool = True,
+                 max_frames: Optional[int] = 10_000) -> None:
+        self.gdm = gdm
+        self.channel: Optional[DebugChannel] = None
+        self.state = EngineState.DISCONNECTED
+        self.bus = EventBus()
+        self.trace = ExecutionTrace()
+        self.breakpoints = BreakpointManager()
+        self.frames = FrameSequence(max_frames=max_frames) if capture_frames else None
+        self.commands_processed = 0
+        self.commands_while_paused = 0
+        #: used by StepController: halt again after N commands (None = free run)
+        self.step_budget: Optional[int] = None
+        if channel is not None:
+            self.connect(channel)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect(self, channel: DebugChannel) -> None:
+        """Attach a command channel and enter WAITING."""
+        if self.channel is not None:
+            raise DebuggerError("engine already connected to a channel")
+        self.channel = channel
+        channel.subscribe(self.on_command)
+        self._set_state(EngineState.WAITING)
+
+    def _set_state(self, state: EngineState) -> None:
+        if state is not self.state:
+            previous, self.state = self.state, state
+            self.bus.publish("engine_state", previous=previous, current=state)
+
+    # -- the reaction cycle (Fig 3) --------------------------------------------
+
+    def on_command(self, command: Command) -> None:
+        """Handle one command: react, trace, check breakpoints."""
+        if self.state is EngineState.DISCONNECTED:
+            raise DebuggerError("engine received a command while disconnected")
+        if self.state is EngineState.REPLAYING:
+            raise DebuggerError("engine received a live command during replay")
+        if self.state is EngineState.PAUSED:
+            # Stragglers already in flight when the target halted.
+            self.commands_while_paused += 1
+            return
+
+        self._set_state(EngineState.REACTING)
+        # Pulses are transient: they light up for exactly one animation step.
+        decay_pulses(self.gdm)
+        reactions: List[ReactionRecord] = []
+        for binding in self.gdm.bindings_for(command):
+            record = apply_reaction(self.gdm, binding, command)
+            if record is not None:
+                reactions.append(record)
+                self.bus.publish("reaction", record=record, command=command)
+
+        event = self.trace.record(command, reactions, self.state.name)
+        self.commands_processed += 1
+        self.bus.publish("command", command=command, event=event)
+
+        if self.frames is not None and reactions:
+            self.frames.capture(command.t_host,
+                                f"{command.kind.name} {command.path}",
+                                self.gdm.styles_snapshot())
+
+        hit = self.breakpoints.check(command)
+        if hit is not None:
+            self._pause_on_breakpoint(hit, command)
+            return
+
+        if self.step_budget is not None:
+            self.step_budget -= 1
+            if self.step_budget <= 0:
+                self.step_budget = None
+                self._halt_target()
+                self._set_state(EngineState.PAUSED)
+                self.bus.publish("step_complete", command=command)
+                return
+
+        self._set_state(EngineState.WAITING)
+
+    def _pause_on_breakpoint(self, breakpoint, command: Command) -> None:
+        self._halt_target()
+        self._set_state(EngineState.PAUSED)
+        self.bus.publish("breakpoint", breakpoint=breakpoint, command=command)
+
+    def _halt_target(self) -> None:
+        if self.channel is not None:
+            self.channel.halt_target()
+
+    # -- pause / resume -----------------------------------------------------------
+
+    def pause(self) -> None:
+        """Manually pause (halts the target)."""
+        if self.state is EngineState.DISCONNECTED:
+            raise DebuggerError("cannot pause a disconnected engine")
+        self._halt_target()
+        self._set_state(EngineState.PAUSED)
+
+    def resume(self) -> None:
+        """Leave PAUSED: resume the target and wait for commands."""
+        if self.state is not EngineState.PAUSED:
+            raise DebuggerError(f"resume from {self.state.name}, expected PAUSED")
+        if self.channel is not None:
+            self.channel.resume_target()
+        self._set_state(EngineState.WAITING)
+
+    # -- replay handshake ----------------------------------------------------
+
+    def enter_replay(self) -> None:
+        """Hand the model to a replay player."""
+        if self.state not in (EngineState.WAITING, EngineState.PAUSED):
+            raise DebuggerError(f"cannot replay from {self.state.name}")
+        self._set_state(EngineState.REPLAYING)
+
+    def leave_replay(self) -> None:
+        """Take the model back after replay."""
+        if self.state is not EngineState.REPLAYING:
+            raise DebuggerError("engine is not replaying")
+        self._set_state(EngineState.WAITING)
+
+    def __repr__(self) -> str:
+        return (f"<DebuggerEngine {self.state.name} "
+                f"{self.commands_processed} commands, "
+                f"{len(self.trace)} trace events>")

@@ -1,0 +1,111 @@
+"""Model-level state inspection.
+
+The paper's abstract: developers can "graphically test their design model
+and check the running status of the system". Beyond the animation, that
+means asking questions *in model vocabulary* — "which state is the lamp
+machine in?", "what's the speed signal right now?" — and having the
+debugger translate to symbol reads on the right node's board.
+
+Reads go through the board's debug backdoor (like a JTAG scan), so
+inspection never perturbs the target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.comdes.blocks import StateMachineFB
+from repro.comdes.system import System
+from repro.errors import DebuggerError
+from repro.rtos.kernel import DtmKernel
+from repro.target.firmware import FirmwareImage
+
+
+class ModelInspector:
+    """Answers model-level status queries against a running kernel."""
+
+    def __init__(self, system: System, firmware: FirmwareImage,
+                 kernel: DtmKernel) -> None:
+        self.system = system
+        self.firmware = firmware
+        self.kernel = kernel
+
+    # -- signals -----------------------------------------------------------
+
+    def signal_value(self, signal_name: str,
+                     node: Optional[str] = None) -> int:
+        """Current value of a signal, as visible on *node* (default: the
+        producer's node, i.e. the freshest view)."""
+        if signal_name not in self.system.signals:
+            raise DebuggerError(f"unknown signal {signal_name!r}")
+        if node is None:
+            producers = self.system.producers_of(signal_name)
+            node = producers[0].node if producers else self.system.nodes()[0]
+        return self.kernel.bus.read(node, signal_name)
+
+    def signals(self) -> Dict[str, int]:
+        """All signals with their freshest values."""
+        return {name: self.signal_value(name) for name in self.system.signals}
+
+    # -- state machines ----------------------------------------------------
+
+    def _machine_block(self, actor_name: str, block_name: str):
+        actor = self.system.actor(actor_name)
+        block = actor.network.block(block_name)
+        if not isinstance(block, StateMachineFB):
+            raise DebuggerError(
+                f"{actor_name}.{block_name} is a {block.kind!r} block, "
+                "not a state machine"
+            )
+        return actor, block
+
+    def current_state(self, actor_name: str, block_name: str) -> str:
+        """The state a machine is in *right now*, read from target RAM."""
+        actor, block = self._machine_block(actor_name, block_name)
+        board = self.kernel.board_of(actor.node)
+        index = board.symbol_value(f"{actor_name}.{block_name}.$_state")
+        states = block.machine.states
+        if not (0 <= index < len(states)):
+            raise DebuggerError(
+                f"{actor_name}.{block_name}: state index {index} is out of "
+                f"range — the target is corrupted"
+            )
+        return states[index]
+
+    def machine_variables(self, actor_name: str,
+                          block_name: str) -> Dict[str, int]:
+        """Current values of a machine's variables."""
+        actor, block = self._machine_block(actor_name, block_name)
+        board = self.kernel.board_of(actor.node)
+        return {
+            var: board.symbol_value(f"{actor_name}.{block_name}.${var}")
+            for var in block.machine.variables
+        }
+
+    def all_machines(self) -> Dict[str, str]:
+        """``actor.block -> current state`` for every top-level machine."""
+        status: Dict[str, str] = {}
+        for actor in self.system.actors.values():
+            for block in actor.network.blocks:
+                if isinstance(block, StateMachineFB):
+                    status[f"{actor.name}.{block.name}"] = (
+                        self.current_state(actor.name, block.name))
+        return status
+
+    # -- summary ----------------------------------------------------------------
+
+    def status_report(self) -> str:
+        """A human-readable "running status" panel."""
+        lines: List[str] = [f"=== {self.system.name} @ "
+                            f"t={self.kernel.sim.now / 1000:.1f}ms ==="]
+        lines.append("state machines:")
+        for name, state in sorted(self.all_machines().items()):
+            lines.append(f"  {name:30s} {state}")
+        lines.append("signals:")
+        for name, value in sorted(self.signals().items()):
+            lines.append(f"  {name:30s} {value}")
+        misses = self.kernel.deadline_misses
+        lines.append(f"jobs: {len(self.kernel.records)} completed, "
+                     f"{self.kernel.jobs_skipped} skipped, "
+                     f"{misses} deadline misses")
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Trace replay.
+
+"The user can then monitor the application's behavior via a replay function
+associated with a timing diagram." Replay re-animates the debug model from
+a recorded trace — no target needed — with seek and speed control. It is a
+pure function of the trace: replaying twice yields identical frames.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.trace import ExecutionTrace, TraceEvent
+from repro.errors import DebuggerError
+from repro.gdm.model import GdmModel
+from repro.gdm.reactions import ReactionKind, decay_pulses
+from repro.render.animation import FrameSequence
+
+
+class ReplayPlayer:
+    """Replays a recorded trace onto a debug model."""
+
+    def __init__(self, trace: ExecutionTrace, gdm: GdmModel) -> None:
+        self.trace = trace
+        self.gdm = gdm
+        self.position = 0
+        self.frames = FrameSequence()
+        self._active = False
+
+    def start(self) -> None:
+        """Reset the model's dynamic state and rewind."""
+        self.gdm.reset_styles()
+        self.position = 0
+        self.frames = FrameSequence()
+        self._active = True
+
+    def _apply_event(self, event: TraceEvent) -> None:
+        for record in event.reactions:
+            element = self.gdm.elements.get(record.element_id)
+            if element is None:
+                link = self.gdm.links.get(record.element_id)
+                if link is not None:
+                    link.style["pulse"] = "true"
+                continue
+            if record.kind is ReactionKind.HIGHLIGHT:
+                if element.group:
+                    for sibling in self.gdm.elements_in_group(element.group):
+                        sibling.style.pop("highlighted", None)
+                element.style["highlighted"] = "true"
+            elif record.kind is ReactionKind.UNHIGHLIGHT:
+                element.style.pop("highlighted", None)
+            elif record.kind is ReactionKind.ANNOTATE:
+                element.style["value"] = record.detail.replace("value=", "")
+            elif record.kind is ReactionKind.PULSE:
+                element.style["pulse"] = "true"
+            elif record.kind is ReactionKind.MARK_ERROR:
+                element.style["error"] = "true"
+
+    def step(self) -> Optional[TraceEvent]:
+        """Replay one event; returns it (None at end of trace)."""
+        if not self._active:
+            raise DebuggerError("call start() before stepping a replay")
+        if self.position >= len(self.trace):
+            return None
+        event = self.trace[self.position]
+        self.position += 1
+        decay_pulses(self.gdm)  # same one-step pulse semantics as the engine
+        self._apply_event(event)
+        self.frames.capture(event.command.t_host,
+                            f"replay {event.command.kind.name} {event.command.path}",
+                            self.gdm.styles_snapshot())
+        return event
+
+    def run_to_end(self) -> int:
+        """Replay everything remaining; returns events replayed."""
+        replayed = 0
+        while self.step() is not None:
+            replayed += 1
+        return replayed
+
+    def seek(self, position: int) -> None:
+        """Rebuild model state as of trace index *position* (exclusive)."""
+        if not (0 <= position <= len(self.trace)):
+            raise DebuggerError(
+                f"seek position {position} outside 0..{len(self.trace)}"
+            )
+        self.start()
+        while self.position < position:
+            self.step()
+
+    def highlighted_paths(self) -> List[str]:
+        """Source paths of currently highlighted elements (assert helper)."""
+        return sorted(
+            e.source_path for e in self.gdm.elements.values() if e.highlighted
+        )

@@ -1,0 +1,48 @@
+"""Step-wise execution at the model level.
+
+A code debugger steps instructions; GMDF steps **model events**: "run until
+the next N commands have animated the model, then pause the target again".
+"""
+
+from __future__ import annotations
+
+from repro.engine.engine import DebuggerEngine, EngineState
+from repro.errors import DebuggerError
+
+
+class StepController:
+    """Drives pause/resume/step of a connected engine."""
+
+    def __init__(self, engine: DebuggerEngine) -> None:
+        self.engine = engine
+        self.steps_requested = 0
+
+    def pause(self) -> None:
+        """Pause the debugged application at the model level."""
+        self.engine.pause()
+
+    def resume(self) -> None:
+        """Free-run until a breakpoint (or forever)."""
+        self.engine.step_budget = None
+        self.engine.resume()
+
+    def step(self, count: int = 1) -> None:
+        """Execute until *count* more model events, then pause again.
+
+        The engine must currently be PAUSED (step from a running engine is
+        a no-op conceptually — it is already consuming events).
+        """
+        if count <= 0:
+            raise DebuggerError(f"step count must be positive, got {count}")
+        if self.engine.state is not EngineState.PAUSED:
+            raise DebuggerError(
+                f"step requires PAUSED, engine is {self.engine.state.name}"
+            )
+        self.steps_requested += count
+        self.engine.step_budget = count
+        self.engine.resume()
+
+    @property
+    def paused(self) -> bool:
+        """Whether the engine is currently paused."""
+        return self.engine.state is EngineState.PAUSED

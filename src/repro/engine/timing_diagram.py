@@ -1,0 +1,145 @@
+"""Timing diagrams from execution traces.
+
+One lane per source path: state lanes show which state was active when
+(intervals between STATE_ENTER events of a group); signal lanes show value
+changes. Rendered as ASCII (terminal) and SVG (artifact files).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.comm.protocol import CommandKind
+from repro.engine.trace import ExecutionTrace
+from repro.errors import DebuggerError
+from repro.util.textgrid import TextGrid
+from repro.util.timeunits import format_us
+
+
+class Lane:
+    """One horizontal lane: labeled intervals over time."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: (t_start, t_end, label); t_end None = open interval
+        self.intervals: List[Tuple[int, Optional[int], str]] = []
+
+    def begin(self, t: int, label: str) -> None:
+        """Close the open interval (if any) and start a new one."""
+        if self.intervals and self.intervals[-1][1] is None:
+            start, _, old_label = self.intervals[-1]
+            self.intervals[-1] = (start, t, old_label)
+        self.intervals.append((t, None, label))
+
+    def close(self, t: int) -> None:
+        """Close any open interval at *t*."""
+        if self.intervals and self.intervals[-1][1] is None:
+            start, _, label = self.intervals[-1]
+            self.intervals[-1] = (start, t, label)
+
+
+class TimingDiagram:
+    """Builds lanes from a trace and renders them."""
+
+    def __init__(self, trace: ExecutionTrace) -> None:
+        if len(trace) == 0:
+            raise DebuggerError("cannot build a timing diagram from an empty trace")
+        self.trace = trace
+        self.t0 = trace[0].command.t_host
+        self.t1 = trace[len(trace) - 1].command.t_host
+        self.lanes: Dict[str, Lane] = {}
+        self._build()
+
+    def _lane(self, name: str) -> Lane:
+        if name not in self.lanes:
+            self.lanes[name] = Lane(name)
+        return self.lanes[name]
+
+    def _build(self) -> None:
+        for event in self.trace:
+            command = event.command
+            if command.kind is CommandKind.STATE_ENTER:
+                # Lane per machine: "state:<actor>.<block>.<STATE>" -> group lane.
+                group, _, state = command.path.rpartition(".")
+                self._lane(group).begin(command.t_host, state)
+            elif command.kind is CommandKind.SIG_UPDATE:
+                self._lane(command.path).begin(command.t_host,
+                                               str(command.value))
+        for lane in self.lanes.values():
+            lane.close(self.t1)
+
+    # -- rendering --------------------------------------------------------
+
+    def render_ascii(self, width: int = 72) -> str:
+        """ASCII timing diagram: one row per lane plus a time axis."""
+        span = max(1, self.t1 - self.t0)
+        label_w = min(30, max(len(name) for name in self.lanes) + 1)
+        grid = TextGrid(label_w + width + 2, 2 * len(self.lanes) + 2)
+
+        def col(t: int) -> int:
+            return label_w + round((t - self.t0) / span * (width - 1))
+
+        for row, name in enumerate(sorted(self.lanes)):
+            lane = self.lanes[name]
+            y = 2 * row
+            grid.text(0, y, name[-label_w + 1:])
+            for start, end, label in lane.intervals:
+                c0 = col(start)
+                c1 = col(end if end is not None else self.t1)
+                grid.put(c0, y, "|")
+                for x in range(c0 + 1, c1):
+                    grid.put(x, y, "_")
+                clipped = label[: max(0, c1 - c0 - 1)]
+                grid.text(c0 + 1, y + 1, clipped)
+        axis_y = 2 * len(self.lanes)
+        grid.hline(label_w, label_w + width - 1, axis_y, "-")
+        grid.text(label_w, axis_y + 1, format_us(0))
+        end_label = format_us(span)
+        grid.text(label_w + width - len(end_label), axis_y + 1, end_label)
+        return grid.render()
+
+    def render_svg(self, width_px: int = 800, lane_height: int = 28) -> str:
+        """SVG timing diagram."""
+        span = max(1, self.t1 - self.t0)
+        label_px = 180
+        chart_px = width_px - label_px - 20
+        lines: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" '
+            f'height="{lane_height * len(self.lanes) + 40}">',
+        ]
+
+        def x_of(t: int) -> float:
+            return label_px + (t - self.t0) / span * chart_px
+
+        palette = ("#7eb6ff", "#ffd54d", "#9ae6b4", "#f6a5c0", "#c3a6ff")
+        for row, name in enumerate(sorted(self.lanes)):
+            lane = self.lanes[name]
+            y = 10 + row * lane_height
+            lines.append(
+                f'<text x="4" y="{y + 14}" font-size="11" '
+                f'font-family="monospace">{name[-28:]}</text>'
+            )
+            for i, (start, end, label) in enumerate(lane.intervals):
+                x0 = x_of(start)
+                x1 = x_of(end if end is not None else self.t1)
+                color = palette[i % len(palette)]
+                lines.append(
+                    f'<rect x="{x0:.1f}" y="{y}" width="{max(1.0, x1 - x0):.1f}" '
+                    f'height="{lane_height - 8}" fill="{color}" '
+                    f'stroke="#555"/>'
+                )
+                lines.append(
+                    f'<text x="{x0 + 3:.1f}" y="{y + 13}" font-size="10" '
+                    f'font-family="monospace">{label[:12]}</text>'
+                )
+        axis_y = 10 + len(self.lanes) * lane_height + 12
+        lines.append(
+            f'<text x="{label_px}" y="{axis_y}" font-size="10" '
+            f'font-family="monospace">0</text>'
+        )
+        lines.append(
+            f'<text x="{label_px + chart_px - 40}" y="{axis_y}" '
+            f'font-size="10" font-family="monospace">{format_us(span)}</text>'
+        )
+        lines.append("</svg>")
+        return "\n".join(lines)

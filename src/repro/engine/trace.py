@@ -1,0 +1,140 @@
+"""Execution traces.
+
+"GDM animation will trace model-level behavior and always make a record of
+the execution trace. The user can then monitor the application's behavior
+via a replay function associated with a timing diagram." (paper §III)
+
+A trace is an append-only sequence of (command, reactions) events with both
+target-side and host-side timestamps. It is serializable, and replay is a
+pure function of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.comm.protocol import Command, CommandKind
+from repro.gdm.reactions import ReactionRecord
+
+
+class TraceEvent:
+    """One traced debugger event."""
+
+    __slots__ = ("seq", "command", "reactions", "engine_state")
+
+    def __init__(self, seq: int, command: Command,
+                 reactions: Sequence[ReactionRecord],
+                 engine_state: str) -> None:
+        self.seq = seq
+        self.command = command
+        self.reactions = list(reactions)
+        self.engine_state = engine_state
+
+    def to_dict(self) -> dict:
+        """Serializable form."""
+        return {
+            "seq": self.seq,
+            "kind": self.command.kind.name,
+            "path": self.command.path,
+            "value": self.command.value,
+            "t_target": self.command.t_target,
+            "t_host": self.command.t_host,
+            "engine_state": self.engine_state,
+            "reactions": [r.to_dict() for r in self.reactions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`."""
+        command = Command(
+            CommandKind[data["kind"]], data["path"], data["value"],
+            t_target=data["t_target"], t_host=data["t_host"],
+        )
+        reactions = [ReactionRecord.from_dict(r) for r in data["reactions"]]
+        return cls(data["seq"], command, reactions, data["engine_state"])
+
+    def __repr__(self) -> str:
+        return (f"<TraceEvent #{self.seq} {self.command.kind.name} "
+                f"{self.command.path}={self.command.value} "
+                f"@{self.command.t_host}us>")
+
+
+class ExecutionTrace:
+    """Append-only event log with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, command: Command, reactions: Sequence[ReactionRecord],
+               engine_state: str) -> TraceEvent:
+        """Append an event."""
+        event = TraceEvent(len(self._events), command, reactions, engine_state)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    def events(self, kind: Optional[CommandKind] = None,
+               path_prefix: str = "") -> List[TraceEvent]:
+        """Events filtered by kind and/or path prefix."""
+        selected = self._events
+        if kind is not None:
+            selected = [e for e in selected if e.command.kind is kind]
+        if path_prefix:
+            selected = [e for e in selected
+                        if e.command.path.startswith(path_prefix)]
+        return list(selected)
+
+    def duration_us(self) -> int:
+        """Host-time span covered by the trace."""
+        if not self._events:
+            return 0
+        return (self._events[-1].command.t_host
+                - self._events[0].command.t_host)
+
+    def counts_by_path(self) -> Dict[str, int]:
+        """Event count per source path."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.command.path] = counts.get(event.command.path, 0) + 1
+        return counts
+
+    def mean_latency_us(self) -> Optional[float]:
+        """Average host-arrival latency of traced commands."""
+        if not self._events:
+            return None
+        return sum(e.command.latency_us for e in self._events) / len(self._events)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        """Serialize the whole trace."""
+        return [event.to_dict() for event in self._events]
+
+    @classmethod
+    def from_dicts(cls, data: Sequence[dict]) -> "ExecutionTrace":
+        """Restore a serialized trace."""
+        trace = cls()
+        for record in data:
+            trace._events.append(TraceEvent.from_dict(record))
+        return trace
+
+    def save(self, path: str) -> None:
+        """Write the trace to a JSON file (the prototype's trace record)."""
+        import json
+        with open(path, "w") as handle:
+            json.dump(self.to_dicts(), handle)
+
+    @classmethod
+    def load(cls, path: str) -> "ExecutionTrace":
+        """Read a trace previously written by :meth:`save`."""
+        import json
+        with open(path) as handle:
+            return cls.from_dicts(json.load(handle))

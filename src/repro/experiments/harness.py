@@ -1,0 +1,70 @@
+"""Experiment harness: aligned result tables and artifact files."""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Sequence
+
+
+class ResultTable:
+    """Collects rows and renders an aligned text table.
+
+    The benchmark files print these tables so the harness output mirrors
+    how the paper would report each experiment.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:.3g}"
+        return str(value)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([self._format(v) for v in values])
+
+    def render(self) -> str:
+        """The aligned table as text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+        divider = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [f"== {self.title} ==", line(self.columns), divider]
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        """Print with surrounding blank lines (pytest -s friendly)."""
+        print("\n" + self.render() + "\n")
+
+
+def artifacts_dir() -> str:
+    """The artifacts directory (created on demand)."""
+    base = os.environ.get("REPRO_ARTIFACTS",
+                          os.path.join(os.getcwd(), "artifacts"))
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def save_artifact(name: str, content: str) -> str:
+    """Write a text/SVG artifact; returns its path."""
+    path = os.path.join(artifacts_dir(), name)
+    with open(path, "w") as handle:
+        handle.write(content)
+    return path

@@ -1,0 +1,111 @@
+"""Parametric workload generators for the scaling experiments.
+
+``chain_machine(n)`` builds an n-state ring FSM (the E4/E5 size sweeps);
+``scaled_dataflow_system`` builds wide dataflow actors (abstraction and
+animation cost vs model size); all are deterministic in their parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.comdes.actor import Actor, TaskSpec
+from repro.comdes.blocks import AddFB, ConstantFB, GainFB, StateMachineFB
+from repro.comdes.dataflow import ComponentNetwork, Connection, PortRef
+from repro.comdes.expr import const, ge, lt, var
+from repro.comdes.fsm import Assign as FsmAssign
+from repro.comdes.fsm import StateMachine, Transition
+from repro.comdes.signals import Signal
+from repro.comdes.system import System
+from repro.meta.model import Model
+from repro.comdes.reflect import system_to_model
+from repro.util.timeunits import ms
+
+
+def chain_machine(n_states: int, dwell: int = 1,
+                  name: str = "chain") -> StateMachine:
+    """A ring of *n_states* states, each dwelling *dwell* steps.
+
+    Output ``pos`` publishes the current position, so every step changes an
+    observable — worst-case command traffic for channel experiments.
+    """
+    if n_states < 2:
+        raise ValueError(f"need at least 2 states, got {n_states}")
+    states = [f"S{i}" for i in range(n_states)]
+    transitions: List[Transition] = []
+    for i, state in enumerate(states):
+        nxt = states[(i + 1) % n_states]
+        if dwell > 1:
+            transitions.append(Transition(
+                state, nxt, guard=ge(var("t"), const(dwell - 1)),
+                actions=[FsmAssign("t", const(0)),
+                         FsmAssign("pos", const((i + 1) % n_states))],
+            ))
+            transitions.append(Transition(
+                state, state, guard=lt(var("t"), const(dwell - 1)),
+                actions=[FsmAssign("t", var("t") + const(1))],
+            ))
+        else:
+            transitions.append(Transition(
+                state, nxt,
+                actions=[FsmAssign("pos", const((i + 1) % n_states))],
+            ))
+    return StateMachine(
+        name=name, states=states, initial=states[0],
+        transitions=transitions, inputs=[], outputs=["pos"],
+        variables={"t": 0} if dwell > 1 else {},
+    )
+
+
+def chain_system(n_states: int, period_us: int = ms(10),
+                 dwell: int = 1) -> System:
+    """Single-actor system around :func:`chain_machine`."""
+    machine = chain_machine(n_states, dwell=dwell)
+    network = ComponentNetwork(
+        name="chain_net",
+        blocks=[StateMachineFB("fsm", machine)],
+        output_ports={"pos": PortRef("fsm", "pos")},
+    )
+    actor = Actor("walker", network, TaskSpec(period_us=period_us),
+                  outputs={"pos": "pos"})
+    return System(f"chain{n_states}", signals=[Signal("pos")], actors=[actor])
+
+
+def scaled_dataflow_system(n_blocks: int,
+                           period_us: int = ms(10)) -> System:
+    """An adder-tree dataflow actor with ~n_blocks blocks.
+
+    Structure: constants feed a chain of adders with gains interleaved —
+    deep enough to exercise topological ordering and abstraction cost.
+    """
+    if n_blocks < 3:
+        raise ValueError(f"need at least 3 blocks, got {n_blocks}")
+    blocks = [ConstantFB("c0", 1), ConstantFB("c1", 2)]
+    connections: List[Connection] = []
+    previous = "c0"
+    other = "c1"
+    index = 0
+    while len(blocks) < n_blocks:
+        if index % 2 == 0:
+            name = f"add{index}"
+            blocks.append(AddFB(name))
+            connections.append(Connection.wire(f"{previous}.y", f"{name}.a"))
+            connections.append(Connection.wire(f"{other}.y", f"{name}.b"))
+        else:
+            name = f"gain{index}"
+            blocks.append(GainFB(name, num=3, den=2))
+            connections.append(Connection.wire(f"{previous}.y", f"{name}.u"))
+        previous = name
+        index += 1
+    network = ComponentNetwork(
+        name="tree", blocks=blocks, connections=connections,
+        output_ports={"y": PortRef(previous, "y")},
+    )
+    actor = Actor("pipeline", network, TaskSpec(period_us=period_us),
+                  outputs={"y": "y"})
+    return System(f"tree{n_blocks}", signals=[Signal("y")], actors=[actor])
+
+
+def scaled_model(n_states: int) -> Model:
+    """Reflective model of a chain system (abstraction-cost sweeps)."""
+    return system_to_model(chain_system(n_states))

@@ -1,0 +1,23 @@
+"""Fault injection for the detection experiments.
+
+The paper distinguishes two bug classes a runtime model debugger can find:
+
+* **design errors** — inconsistencies between requirements and the system
+  model (injected here by mutating the model before code generation);
+* **implementation errors** — introduced during model transformation
+  (injected by mutating the generated code while the model stays correct).
+
+:mod:`repro.faults.campaign` runs both debuggers (model-level GMDF and the
+code-level baseline) against each faulty variant and scores detection.
+"""
+
+from repro.faults.design import DESIGN_FAULT_KINDS, FaultDescriptor, inject_design_fault
+from repro.faults.implementation import IMPL_FAULT_KINDS, inject_implementation_fault
+from repro.faults.campaign import CampaignResult, FaultOutcome, run_campaign
+
+__all__ = [
+    "FaultDescriptor",
+    "DESIGN_FAULT_KINDS", "inject_design_fault",
+    "IMPL_FAULT_KINDS", "inject_implementation_fault",
+    "FaultOutcome", "CampaignResult", "run_campaign",
+]

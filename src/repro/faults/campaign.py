@@ -1,0 +1,216 @@
+"""Fault-injection campaigns: model debugger vs code debugger.
+
+For every injected fault the campaign runs the same scenario twice:
+
+* **model level** — GMDF with requirement monitors attached to the engine's
+  command stream (plus crash detection);
+* **code level** — the source debugger with up to four hardware watchpoints
+  carrying value-range predicates (plus crash detection). The watchpoints
+  deliberately have no sequencing knowledge: that is what a code-level
+  debugger can express.
+
+Detection and detection latency are recorded per fault; aggregation by
+category reproduces the paper's claim that the model debugger's "primary
+job" — design errors — is where it pulls ahead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.instrument import InstrumentationPlan
+from repro.codegen.pipeline import generate_firmware
+from repro.comdes.reflect import system_to_model
+from repro.comdes.system import System
+from repro.comm.channel import ActiveChannel, CompositeChannel
+from repro.comm.rs232 import Rs232Link
+from repro.debugger.gdb import SourceDebugger
+from repro.engine.checks import MonitorSuite
+from repro.engine.engine import DebuggerEngine
+from repro.errors import TargetFault
+from repro.faults.design import DESIGN_FAULT_KINDS, FaultDescriptor, inject_design_fault
+from repro.faults.implementation import IMPL_FAULT_KINDS, inject_implementation_fault
+from repro.gdm.abstraction import AbstractionEngine
+from repro.gdm.mapping import default_comdes_table
+from repro.rtos.kernel import DtmKernel
+from repro.sim.kernel import Simulator
+from repro.target.firmware import FirmwareImage
+
+#: code-level watch: (symbol, predicate-or-None, description)
+CodeWatchSpec = Tuple[str, Optional[Callable[[int], bool]], str]
+
+
+class FaultOutcome:
+    """Detection result of one fault under both debuggers."""
+
+    __slots__ = ("fault", "model_detected", "model_latency_us", "model_how",
+                 "code_detected", "code_latency_us", "code_how")
+
+    def __init__(self, fault: FaultDescriptor,
+                 model_detected: bool, model_latency_us: Optional[int],
+                 model_how: str,
+                 code_detected: bool, code_latency_us: Optional[int],
+                 code_how: str) -> None:
+        self.fault = fault
+        self.model_detected = model_detected
+        self.model_latency_us = model_latency_us
+        self.model_how = model_how
+        self.code_detected = code_detected
+        self.code_latency_us = code_latency_us
+        self.code_how = code_how
+
+    def __repr__(self) -> str:
+        return (f"<FaultOutcome {self.fault.fault_id} "
+                f"model={'HIT' if self.model_detected else 'miss'} "
+                f"code={'HIT' if self.code_detected else 'miss'}>")
+
+
+class CampaignResult:
+    """Aggregated campaign outcomes."""
+
+    def __init__(self, outcomes: Sequence[FaultOutcome],
+                 false_positives: int) -> None:
+        self.outcomes = list(outcomes)
+        self.false_positives = false_positives
+
+    def of_category(self, category: str) -> List[FaultOutcome]:
+        """Outcomes of one fault category."""
+        return [o for o in self.outcomes if o.fault.category == category]
+
+    def detection_rate(self, category: str, debugger: str) -> Optional[float]:
+        """Fraction detected: debugger is 'model' or 'code'."""
+        selected = self.of_category(category)
+        if not selected:
+            return None
+        flag = ("model_detected" if debugger == "model" else "code_detected")
+        return sum(getattr(o, flag) for o in selected) / len(selected)
+
+    def mean_latency_us(self, category: str, debugger: str) -> Optional[float]:
+        """Mean detection latency among detected faults."""
+        attr = ("model_latency_us" if debugger == "model"
+                else "code_latency_us")
+        values = [getattr(o, attr) for o in self.of_category(category)
+                  if getattr(o, attr) is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Per-category summary for table printing."""
+        rows = []
+        for category in ("design", "implementation"):
+            if not self.of_category(category):
+                continue
+            rows.append({
+                "category": category,
+                "faults": len(self.of_category(category)),
+                "model_rate": self.detection_rate(category, "model"),
+                "code_rate": self.detection_rate(category, "code"),
+                "model_latency_us": self.mean_latency_us(category, "model"),
+                "code_latency_us": self.mean_latency_us(category, "code"),
+            })
+        return rows
+
+
+def _run_model_debugger(system: System, firmware: FirmwareImage,
+                        monitor_factory: Callable[[], MonitorSuite],
+                        duration_us: int) -> Tuple[bool, Optional[int], str]:
+    """Run GMDF over the faulty target; returns (detected, latency, how)."""
+    sim = Simulator()
+    kernel = DtmKernel(system, firmware, sim=sim, latched=True)
+    composite = CompositeChannel()
+    for node in system.nodes():
+        channel = ActiveChannel(sim, kernel.board_of(node), firmware,
+                                link=Rs232Link())
+        kernel.add_job_hook(node, lambda actor, t, ch=channel: ch.begin_job(t))
+        composite.add(channel)
+    model = system_to_model(system)
+    gdm = AbstractionEngine(default_comdes_table(model.metamodel)).build(model)
+    engine = DebuggerEngine(gdm, channel=composite, capture_frames=False)
+    suite = monitor_factory()
+    suite.attach(engine)
+    try:
+        kernel.run(duration_us)
+    except TargetFault:
+        return True, sim.now, "crash"
+    if suite.any_violation:
+        return True, suite.first_violation_time(), "monitor"
+    return False, None, ""
+
+
+def _run_code_debugger(system: System, firmware: FirmwareImage,
+                       watch_specs: Sequence[CodeWatchSpec],
+                       duration_us: int) -> Tuple[bool, Optional[int], str]:
+    """Run the source-debugger baseline; returns (detected, latency, how)."""
+    sim = Simulator()
+    kernel = DtmKernel(system, firmware, sim=sim, latched=True)
+    hits: List[int] = []
+    for node in system.nodes():
+        debugger = SourceDebugger(kernel.board_of(node), firmware)
+        installed = 0
+        for symbol, predicate, description in watch_specs:
+            if installed >= 4:
+                break
+            if not firmware.symbols.has(symbol):
+                continue
+            debugger.watch(symbol, predicate, description)
+            installed += 1
+        debugger.on_hit = lambda hit, s=sim: hits.append(s.now)
+    try:
+        kernel.run(duration_us)
+    except TargetFault:
+        return True, sim.now, "crash"
+    if hits:
+        return True, min(hits), "watch"
+    return False, None, ""
+
+
+def run_campaign(
+    system_factory: Callable[[], System],
+    monitor_factory: Callable[[], MonitorSuite],
+    code_watch_specs: Sequence[CodeWatchSpec],
+    design_kinds: Sequence[str] = tuple(DESIGN_FAULT_KINDS),
+    impl_kinds: Sequence[str] = tuple(IMPL_FAULT_KINDS),
+    seeds: Sequence[int] = (1, 2, 3),
+    duration_us: int = 3_000_000,
+    plan: Optional[InstrumentationPlan] = None,
+) -> CampaignResult:
+    """Inject faults, run both debuggers on each, aggregate detection."""
+    plan = plan if plan is not None else InstrumentationPlan.full()
+    outcomes: List[FaultOutcome] = []
+
+    # Control run: the fault-free system must trigger nothing.
+    pristine = system_factory()
+    pristine_fw = generate_firmware(pristine, plan)
+    detected, _, _ = _run_model_debugger(pristine, pristine_fw,
+                                         monitor_factory, duration_us)
+    code_detected, _, _ = _run_code_debugger(pristine, pristine_fw,
+                                             code_watch_specs, duration_us)
+    false_positives = int(detected) + int(code_detected)
+
+    for kind in design_kinds:
+        for seed in seeds:
+            mutant, fault = inject_design_fault(system_factory(), kind, seed)
+            if mutant is None:
+                continue
+            firmware = generate_firmware(mutant, plan)
+            model_result = _run_model_debugger(mutant, firmware,
+                                               monitor_factory, duration_us)
+            code_result = _run_code_debugger(mutant, firmware,
+                                             code_watch_specs, duration_us)
+            outcomes.append(FaultOutcome(fault, *model_result, *code_result))
+
+    for kind in impl_kinds:
+        for seed in seeds:
+            base = system_factory()
+            base_fw = generate_firmware(base, plan)
+            mutant_fw, fault = inject_implementation_fault(base_fw, kind, seed)
+            if mutant_fw is None:
+                continue
+            model_result = _run_model_debugger(base, mutant_fw,
+                                               monitor_factory, duration_us)
+            code_result = _run_code_debugger(base, mutant_fw,
+                                             code_watch_specs, duration_us)
+            outcomes.append(FaultOutcome(fault, *model_result, *code_result))
+
+    return CampaignResult(outcomes, false_positives)

@@ -1,0 +1,222 @@
+"""Design-error injectors: mutate the *model* before code generation.
+
+Each injector deep-copies the system, applies one seeded mutation of its
+kind, and returns the mutated system plus a descriptor. Mutations keep the
+model structurally valid (it still compiles) — they are *semantic* errors,
+the kind a modeler actually makes.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import List, Optional, Tuple
+
+from repro.comdes.blocks import GainFB, StateMachineFB, ThresholdFB
+from repro.comdes.expr import Const, Expr
+from repro.comdes.system import System
+from repro.errors import ReproError
+
+
+class FaultDescriptor:
+    """What was injected where."""
+
+    __slots__ = ("fault_id", "category", "kind", "location", "description")
+
+    def __init__(self, fault_id: str, category: str, kind: str,
+                 location: str, description: str) -> None:
+        self.fault_id = fault_id
+        self.category = category
+        self.kind = kind
+        self.location = location
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"<Fault {self.fault_id} [{self.category}/{self.kind}] {self.location}>"
+
+
+def _state_machine_blocks(system: System) -> List[Tuple[str, StateMachineFB]]:
+    found = []
+    for actor in system.actors.values():
+        for block in actor.network.blocks:
+            if isinstance(block, StateMachineFB):
+                found.append((actor.name, block))
+    return found
+
+
+def _guard_constants(expr: Expr) -> List[Const]:
+    return [node for node in expr.walk() if isinstance(node, Const)]
+
+
+def _fault_remove_transition(system: System, rng: random.Random) -> Optional[str]:
+    machines = _state_machine_blocks(system)
+    if not machines:
+        return None
+    actor_name, block = rng.choice(machines)
+    machine = block.machine
+    # Removing a self-loop usually freezes counters; prefer cross transitions.
+    candidates = [t for t in machine.transitions if t.source != t.target]
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    machine.transitions.remove(victim)
+    return (f"{actor_name}.{block.name}: removed transition "
+            f"{victim.source}->{victim.target}")
+
+
+def _fault_guard_constant(system: System, rng: random.Random) -> Optional[str]:
+    machines = _state_machine_blocks(system)
+    rng.shuffle(machines)
+    for actor_name, block in machines:
+        # A guard that *is* a constant ("always") stays truthy under small
+        # perturbations — mutating it yields an equivalent mutant, so only
+        # constants nested inside a comparison are candidates.
+        transitions = [
+            t for t in block.machine.transitions
+            if not isinstance(t.guard, Const) and _guard_constants(t.guard)
+        ]
+        if not transitions:
+            continue
+        victim = rng.choice(transitions)
+        const = rng.choice(_guard_constants(victim.guard))
+        old = const.value
+        const.value = old + rng.choice((-2, -1, 1, 2, 10))
+        return (f"{actor_name}.{block.name}: guard constant of "
+                f"{victim.source}->{victim.target} changed {old} -> {const.value}")
+    return None
+
+
+def _fault_wrong_target(system: System, rng: random.Random) -> Optional[str]:
+    machines = _state_machine_blocks(system)
+    rng.shuffle(machines)
+    for actor_name, block in machines:
+        machine = block.machine
+        if len(machine.states) < 2:
+            continue
+        candidates = [t for t in machine.transitions if t.source != t.target]
+        if not candidates:
+            continue
+        victim = rng.choice(candidates)
+        others = [s for s in machine.states if s != victim.target]
+        old = victim.target
+        victim.target = rng.choice(others)
+        return (f"{actor_name}.{block.name}: transition from {victim.source} "
+                f"retargeted {old} -> {victim.target}")
+    return None
+
+
+def _fault_wrong_initial(system: System, rng: random.Random) -> Optional[str]:
+    machines = _state_machine_blocks(system)
+    rng.shuffle(machines)
+    for actor_name, block in machines:
+        machine = block.machine
+        others = [s for s in machine.states if s != machine.initial]
+        if not others:
+            continue
+        old = machine.initial
+        machine.initial = rng.choice(others)
+        return f"{actor_name}.{block.name}: initial state {old} -> {machine.initial}"
+    return None
+
+
+def _fault_action_constant(system: System, rng: random.Random) -> Optional[str]:
+    machines = _state_machine_blocks(system)
+    rng.shuffle(machines)
+    for actor_name, block in machines:
+        actions = [
+            (t, a) for t in block.machine.transitions for a in t.actions
+            if _guard_constants(a.expr)
+        ]
+        if not actions:
+            continue
+        transition, action = rng.choice(actions)
+        const = rng.choice(_guard_constants(action.expr))
+        old = const.value
+        const.value = old + rng.choice((-1, 1, 5))
+        return (f"{actor_name}.{block.name}: action {action.target} constant "
+                f"{old} -> {const.value} on {transition.source}->{transition.target}")
+    return None
+
+
+def _fault_gain_sign(system: System, rng: random.Random) -> Optional[str]:
+    gains = [
+        (actor.name, block)
+        for actor in system.actors.values()
+        for block in actor.network.blocks
+        if isinstance(block, GainFB)
+    ]
+    if not gains:
+        return None
+    actor_name, block = rng.choice(gains)
+    block.num = -block.num
+    return f"{actor_name}.{block.name}: gain sign flipped to {block.num}/{block.den}"
+
+
+def _fault_threshold_limit(system: System, rng: random.Random) -> Optional[str]:
+    thresholds = [
+        (actor.name, block)
+        for actor in system.actors.values()
+        for block in actor.network.blocks
+        if isinstance(block, ThresholdFB)
+    ]
+    if not thresholds:
+        return None
+    actor_name, block = rng.choice(thresholds)
+    old = block.limit
+    block.limit = old + rng.choice((-old // 2 - 1, old // 2 + 1))
+    return f"{actor_name}.{block.name}: threshold limit {old} -> {block.limit}"
+
+
+def _fault_swapped_guards(system: System, rng: random.Random) -> Optional[str]:
+    machines = _state_machine_blocks(system)
+    rng.shuffle(machines)
+    for actor_name, block in machines:
+        by_source: dict = {}
+        for t in block.machine.transitions:
+            by_source.setdefault(t.source, []).append(t)
+        multi = [ts for ts in by_source.values() if len(ts) >= 2]
+        if not multi:
+            continue
+        group = rng.choice(multi)
+        a, b = rng.sample(group, 2)
+        a.guard, b.guard = b.guard, a.guard
+        return (f"{actor_name}.{block.name}: guards swapped between "
+                f"{a.source}->{a.target} and {b.source}->{b.target}")
+    return None
+
+
+#: kind name -> injector
+DESIGN_FAULT_KINDS = {
+    "remove_transition": _fault_remove_transition,
+    "guard_constant": _fault_guard_constant,
+    "wrong_target": _fault_wrong_target,
+    "wrong_initial": _fault_wrong_initial,
+    "action_constant": _fault_action_constant,
+    "gain_sign": _fault_gain_sign,
+    "threshold_limit": _fault_threshold_limit,
+    "swapped_guards": _fault_swapped_guards,
+}
+
+
+def inject_design_fault(system: System, kind: str,
+                        seed: int) -> Tuple[Optional[System], Optional[FaultDescriptor]]:
+    """Deep-copy *system* and inject one fault of *kind*.
+
+    Returns (mutant, descriptor), or (None, None) if the kind is not
+    applicable to this system (e.g. no threshold blocks).
+    """
+    if kind not in DESIGN_FAULT_KINDS:
+        raise ReproError(
+            f"unknown design fault kind {kind!r}; "
+            f"options: {sorted(DESIGN_FAULT_KINDS)}"
+        )
+    mutant = copy.deepcopy(system)
+    rng = random.Random(seed)
+    description = DESIGN_FAULT_KINDS[kind](mutant, rng)
+    if description is None:
+        return None, None
+    descriptor = FaultDescriptor(
+        fault_id=f"design/{kind}/{seed}", category="design", kind=kind,
+        location=description.split(":")[0], description=description,
+    )
+    return mutant, descriptor

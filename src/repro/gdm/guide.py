@@ -1,0 +1,145 @@
+"""The abstraction guide — a programmatic version of the Fig 4 dialog.
+
+The paper's screenshot shows: a metamodel-element list on the left, the
+pattern options on the right (Rectangle, Triangle, Circle, Arrow), and a
+pairing list with delete. ``render_dialog`` reproduces that screenshot as
+ASCII; ``finish`` presses "ABSTRACTION FINISHED" and yields the GDM.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from repro.errors import AbstractionError
+from repro.gdm.abstraction import AbstractionEngine
+from repro.gdm.mapping import MappingRule, MappingTable
+from repro.gdm.model import GdmModel
+from repro.gdm.patterns import PatternKind, PatternSpec
+from repro.meta.model import Model
+from repro.util.textgrid import TextGrid
+
+
+class AbstractionGuide:
+    """Interactive pairing of metamodel elements with graphical patterns."""
+
+    def __init__(self, model: Model) -> None:
+        self.model = model
+        self.metamodel = model.metamodel
+        self.table = MappingTable(self.metamodel)
+        self._finished = False
+        self._counts = Counter(obj.metaclass.name for obj in model.all_objects())
+
+    # -- the two lists of the dialog ------------------------------------------
+
+    def element_list(self) -> List[Tuple[str, int]]:
+        """Left-hand list: concrete metaclass names with instance counts."""
+        return [
+            (cls.name, self._counts.get(cls.name, 0))
+            for cls in self.metamodel.concrete_classes()
+        ]
+
+    def pattern_options(self) -> List[str]:
+        """Right-hand list: available pattern names."""
+        return [kind.value for kind in PatternKind]
+
+    # -- pairing operations --------------------------------------------------
+
+    def pair(self, metaclass_name: str, pattern_name: str,
+             render_as: Optional[str] = None,
+             fill: Optional[str] = None, stroke: Optional[str] = None,
+             width: Optional[int] = None, height: Optional[int] = None,
+             **rule_kwargs) -> MappingRule:
+        """Pair an element with a pattern (render mode inferred from the
+        pattern). ``fill``/``stroke``/``width``/``height`` customize the
+        graphical template — the paper's "customized graphical model
+        templates" feature."""
+        self._check_open()
+        kind = PatternKind.from_name(pattern_name)
+        mode = render_as if render_as is not None else (
+            "edge" if kind.is_edge else "node"
+        )
+        spec_kwargs = {}
+        if fill is not None:
+            spec_kwargs["fill"] = fill
+        if stroke is not None:
+            spec_kwargs["stroke"] = stroke
+        if width is not None:
+            spec_kwargs["width"] = width
+        if height is not None:
+            spec_kwargs["height"] = height
+        rule = MappingRule(metaclass_name, PatternSpec(kind, **spec_kwargs),
+                           render_as=mode, **rule_kwargs)
+        return self.table.pair(rule)
+
+    def delete_pairing(self, metaclass_name: str) -> None:
+        """Remove a pairing from the list."""
+        self._check_open()
+        self.table.unpair(metaclass_name)
+
+    def pairings(self) -> List[Tuple[str, str]]:
+        """The existing pairing list (metaclass, pattern)."""
+        return [(r.metaclass_name, r.pattern.kind.value)
+                for r in self.table.pairings()]
+
+    def use_table(self, table: MappingTable) -> None:
+        """Adopt a prepared table (e.g. the COMDES defaults) wholesale."""
+        self._check_open()
+        if table.metamodel.name != self.metamodel.name:
+            raise AbstractionError(
+                f"table is for {table.metamodel.name!r}, guide is for "
+                f"{self.metamodel.name!r}"
+            )
+        self.table = table
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise AbstractionError("abstraction already finished")
+
+    # -- completion ---------------------------------------------------------
+
+    def finish(self, name: str = "") -> GdmModel:
+        """Press ABSTRACTION FINISHED: build and return the GDM."""
+        self._check_open()
+        if not self.table.node_rules():
+            raise AbstractionError(
+                "cannot finish: no element is paired with a node pattern"
+            )
+        self._finished = True
+        engine = AbstractionEngine(self.table)
+        return engine.build(self.model, name=name)
+
+    @property
+    def finished(self) -> bool:
+        """Whether ABSTRACTION FINISHED was pressed."""
+        return self._finished
+
+    # -- the Fig 4 "screenshot" -------------------------------------------------
+
+    def render_dialog(self) -> str:
+        """ASCII rendering of the abstraction-guide dialog."""
+        elements = self.element_list()
+        pairings = self.pairings()
+        patterns = self.pattern_options()
+        rows = max(len(elements), len(pairings), len(patterns)) + 2
+        grid = TextGrid(96, rows + 7)
+
+        grid.text(2, 0, "ABSTRACTION GUIDE — set up the model mapping")
+        grid.box(1, 1, 30, rows + 2)
+        grid.text(3, 2, "Meta-model elements")
+        for i, (cls_name, count) in enumerate(elements):
+            grid.text(3, 3 + i, f"{cls_name} ({count})"[:26])
+
+        grid.box(32, 1, 34, rows + 2)
+        grid.text(34, 2, "Existing pairing list")
+        for i, (cls_name, pattern) in enumerate(pairings):
+            grid.text(34, 3 + i, f"{cls_name} -> {pattern}   [del]"[:30])
+
+        grid.box(67, 1, 27, rows + 2)
+        grid.text(69, 2, "GDM pattern options")
+        for i, pattern in enumerate(patterns):
+            grid.text(69, 3 + i, f"( ) {pattern}")
+
+        grid.text(2, rows + 4, "[ ABSTRACTION FINISHED ]"
+                  if not self._finished else "[ FINISHED ✓ ]")
+        return grid.render()

@@ -1,0 +1,163 @@
+"""Abstraction mapping: metamodel element -> GDM pattern (paper Fig 4).
+
+A :class:`MappingTable` is the data behind the abstraction guide's pairing
+list: for each metaclass, which pattern to use and whether the class renders
+as a node, as an edge between two resolved endpoints, or not at all.
+Because the table is pure data keyed by metaclass names, the same
+abstraction engine serves *any* metamodel registered with the framework —
+the paper's "accept all types of system model that follow MOF" claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import AbstractionError
+from repro.gdm.patterns import PatternKind, PatternSpec
+from repro.meta.metamodel import MetaModel
+from repro.meta.model import Model, ModelObject
+
+#: resolves an edge-mapped object to its (source, target) node objects
+EdgeResolver = Callable[[ModelObject, Model], Optional[Tuple[ModelObject, ModelObject]]]
+
+
+def default_edge_resolver(obj: ModelObject,
+                          model: Model) -> Optional[Tuple[ModelObject, ModelObject]]:
+    """Resolve endpoints via single-valued references.
+
+    Prefers references literally named ``source``/``target``; otherwise the
+    first two single-valued references that are set.
+    """
+    refs = obj.metaclass.all_references()
+    if "source" in refs and "target" in refs:
+        src, dst = obj.ref("source"), obj.ref("target")
+        if src is not None and dst is not None:
+            return src, dst
+        return None
+    singles = [name for name, spec in refs.items()
+               if not spec.many and not spec.containment]
+    endpoints = [obj.ref(name) for name in singles if obj.ref(name) is not None]
+    if len(endpoints) >= 2:
+        return endpoints[0], endpoints[1]
+    return None
+
+
+class MappingRule:
+    """How one metaclass maps to the GDM."""
+
+    RENDER_MODES = ("node", "edge", "skip")
+
+    def __init__(self, metaclass_name: str, pattern: PatternSpec,
+                 render_as: str = "node", label_attr: str = "name",
+                 group_by_container: bool = False,
+                 edge_resolver: Optional[EdgeResolver] = None) -> None:
+        if render_as not in self.RENDER_MODES:
+            raise AbstractionError(
+                f"render_as must be one of {self.RENDER_MODES}, got {render_as!r}"
+            )
+        if render_as == "edge" and not pattern.kind.is_edge:
+            raise AbstractionError(
+                f"{metaclass_name}: edge mapping needs Arrow or Line, "
+                f"got {pattern.kind.value}"
+            )
+        if render_as == "node" and pattern.kind.is_edge:
+            raise AbstractionError(
+                f"{metaclass_name}: node mapping cannot use {pattern.kind.value}"
+            )
+        self.metaclass_name = metaclass_name
+        self.pattern = pattern
+        self.render_as = render_as
+        self.label_attr = label_attr
+        #: nodes whose container defines their exclusive-highlight group
+        self.group_by_container = group_by_container
+        self.edge_resolver = edge_resolver or default_edge_resolver
+
+    def __repr__(self) -> str:
+        return (f"<MappingRule {self.metaclass_name} -> "
+                f"{self.pattern.kind.value} ({self.render_as})>")
+
+
+class MappingTable:
+    """The pairing list of the abstraction guide."""
+
+    def __init__(self, metamodel: MetaModel) -> None:
+        self.metamodel = metamodel
+        self._rules: Dict[str, MappingRule] = {}
+
+    def pair(self, rule: MappingRule) -> MappingRule:
+        """Add or replace a pairing (the guide allows re-pairing)."""
+        if not self.metamodel.has_class(rule.metaclass_name):
+            raise AbstractionError(
+                f"metamodel {self.metamodel.name!r} has no class "
+                f"{rule.metaclass_name!r}"
+            )
+        self._rules[rule.metaclass_name] = rule
+        return rule
+
+    def unpair(self, metaclass_name: str) -> None:
+        """Delete a pairing (the guide's delete button)."""
+        if metaclass_name not in self._rules:
+            raise AbstractionError(f"no pairing for {metaclass_name!r}")
+        del self._rules[metaclass_name]
+
+    def rule_for(self, metaclass_name: str) -> Optional[MappingRule]:
+        """Best rule for a metaclass: exact name, then nearest supertype."""
+        if metaclass_name in self._rules:
+            return self._rules[metaclass_name]
+        cls = self.metamodel.metaclass(metaclass_name)
+        for supertype in cls.all_supertypes():
+            if supertype.name in self._rules:
+                return self._rules[supertype.name]
+        return None
+
+    def pairings(self) -> List[MappingRule]:
+        """All rules in insertion order (the guide's pairing list)."""
+        return list(self._rules.values())
+
+    def node_rules(self) -> List[MappingRule]:
+        """Rules that produce elements."""
+        return [r for r in self._rules.values() if r.render_as == "node"]
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+def _comdes_connection_resolver(obj: ModelObject,
+                                model: Model) -> Optional[Tuple[ModelObject, ModelObject]]:
+    """Resolve a COMDES Connection's endpoints to sibling block objects."""
+    network = obj.container
+    if network is None:
+        return None
+    src_block_name = obj.get("src").split(".")[0]
+    dst_block_name = obj.get("dst").split(".")[0]
+    blocks = {b.get("name"): b for b in network.refs("blocks")}
+    src = blocks.get(src_block_name)
+    dst = blocks.get(dst_block_name)
+    if src is None or dst is None:
+        return None
+    return src, dst
+
+
+def default_comdes_table(metamodel: MetaModel) -> MappingTable:
+    """The mapping a COMDES user would click together in the guide.
+
+    States become circles (highlighted when active), transitions arrows,
+    function blocks rectangles, connections lines, signals triangles,
+    actors rectangles.
+    """
+    table = MappingTable(metamodel)
+    table.pair(MappingRule("Actor",
+                           PatternSpec(PatternKind.RECTANGLE, width=18, height=5)))
+    table.pair(MappingRule("Signal",
+                           PatternSpec(PatternKind.TRIANGLE, width=12, height=4)))
+    table.pair(MappingRule("FunctionBlock",
+                           PatternSpec(PatternKind.RECTANGLE, width=16, height=4)))
+    table.pair(MappingRule("State",
+                           PatternSpec(PatternKind.CIRCLE, width=12, height=5),
+                           group_by_container=True))
+    table.pair(MappingRule("Transition",
+                           PatternSpec(PatternKind.ARROW), render_as="edge"))
+    table.pair(MappingRule("Connection",
+                           PatternSpec(PatternKind.LINE), render_as="edge",
+                           edge_resolver=_comdes_connection_resolver))
+    return table

@@ -1,0 +1,208 @@
+"""Runtime debug-model classes: elements, links, bindings.
+
+:class:`GdmModel` is the object the engine animates. It can round-trip into
+the reflective form conforming to :func:`~repro.gdm.metamodel.gdm_metamodel`
+(the file the prototype writes as "an initial GDM file", Fig 6 step 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.comm.protocol import Command, CommandKind
+from repro.errors import AbstractionError
+from repro.gdm.patterns import PatternSpec
+from repro.meta.model import Model
+from repro.gdm.metamodel import gdm_metamodel
+from repro.render.geometry import Rect
+from repro.util.ids import IdGenerator
+
+
+class GdmElement:
+    """A graphical element animated at runtime."""
+
+    def __init__(self, element_id: str, label: str, pattern: PatternSpec,
+                 source_path: str, group: str = "") -> None:
+        self.id = element_id
+        self.label = label
+        self.pattern = pattern
+        self.source_path = source_path
+        #: exclusive-highlight group (e.g. all states of one machine)
+        self.group = group
+        self.rect: Optional[Rect] = None
+        #: dynamic display state mutated by reactions
+        self.style: Dict[str, str] = {}
+
+    @property
+    def highlighted(self) -> bool:
+        """Whether the element is currently highlighted."""
+        return self.style.get("highlighted") == "true"
+
+    def reset_style(self) -> None:
+        """Clear all dynamic styling (used by replay and engine reset)."""
+        self.style.clear()
+
+    def __repr__(self) -> str:
+        return f"<GdmElement {self.id} {self.pattern.kind.value} <- {self.source_path}>"
+
+
+class GdmLink:
+    """A connection (arrow/line) between two elements."""
+
+    def __init__(self, link_id: str, src_id: str, dst_id: str,
+                 pattern: PatternSpec, source_path: str = "",
+                 label: str = "") -> None:
+        if not pattern.kind.is_edge:
+            raise AbstractionError(
+                f"link {link_id} needs an edge pattern, got {pattern.kind.value}"
+            )
+        self.id = link_id
+        self.src_id = src_id
+        self.dst_id = dst_id
+        self.pattern = pattern
+        self.source_path = source_path
+        self.label = label
+        self.style: Dict[str, str] = {}
+
+    def __repr__(self) -> str:
+        return f"<GdmLink {self.src_id} -> {self.dst_id}>"
+
+
+class CommandBinding:
+    """Command setup entry: which command triggers which reaction.
+
+    ``path_selector`` is an exact source path or a prefix ending in ``*``
+    (e.g. ``state:lights.lamp.*``).
+    """
+
+    def __init__(self, command_kind: CommandKind, path_selector: str,
+                 reaction: str) -> None:
+        self.command_kind = CommandKind(command_kind)
+        self.path_selector = path_selector
+        self.reaction = reaction
+
+    def matches(self, command: Command) -> bool:
+        """Whether *command* triggers this binding."""
+        if command.kind is not self.command_kind:
+            return False
+        if self.path_selector.endswith("*"):
+            return command.path.startswith(self.path_selector[:-1])
+        return command.path == self.path_selector
+
+    def __repr__(self) -> str:
+        return (f"<CommandBinding {self.command_kind.name} "
+                f"{self.path_selector} -> {self.reaction}>")
+
+
+class GdmModel:
+    """The complete debug model: elements + links + command bindings."""
+
+    def __init__(self, name: str, source_model: str = "") -> None:
+        self.name = name
+        self.source_model = source_model
+        self._ids = IdGenerator()
+        self.elements: Dict[str, GdmElement] = {}
+        self.links: Dict[str, GdmLink] = {}
+        self.bindings: List[CommandBinding] = []
+        self._by_path: Dict[str, GdmElement] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_element(self, label: str, pattern: PatternSpec, source_path: str,
+                    group: str = "") -> GdmElement:
+        """Create and register an element."""
+        if source_path in self._by_path:
+            raise AbstractionError(
+                f"element for source path {source_path!r} already exists"
+            )
+        element = GdmElement(self._ids.next("el"), label, pattern,
+                             source_path, group)
+        self.elements[element.id] = element
+        self._by_path[source_path] = element
+        return element
+
+    def add_link(self, src: GdmElement, dst: GdmElement, pattern: PatternSpec,
+                 source_path: str = "", label: str = "") -> GdmLink:
+        """Create and register a link between two existing elements."""
+        for endpoint in (src, dst):
+            if endpoint.id not in self.elements:
+                raise AbstractionError(f"link endpoint {endpoint.id} not in model")
+        link = GdmLink(self._ids.next("ln"), src.id, dst.id, pattern,
+                       source_path, label)
+        self.links[link.id] = link
+        return link
+
+    def add_binding(self, binding: CommandBinding) -> CommandBinding:
+        """Register a command binding (order matters: first match wins set)."""
+        self.bindings.append(binding)
+        return binding
+
+    # -- lookup -----------------------------------------------------------
+
+    def element_by_path(self, source_path: str) -> Optional[GdmElement]:
+        """Element created from *source_path*, or None."""
+        return self._by_path.get(source_path)
+
+    def elements_in_group(self, group: str) -> List[GdmElement]:
+        """All elements sharing an exclusive-highlight group."""
+        return [e for e in self.elements.values() if e.group == group]
+
+    def bindings_for(self, command: Command) -> List[CommandBinding]:
+        """All bindings triggered by *command* (in registration order)."""
+        return [b for b in self.bindings if b.matches(command)]
+
+    def styles_snapshot(self) -> Dict[str, Dict[str, str]]:
+        """Copy of every element's dynamic style (animation frames)."""
+        return {eid: dict(e.style) for eid, e in self.elements.items()}
+
+    def reset_styles(self) -> None:
+        """Clear all dynamic styling."""
+        for element in self.elements.values():
+            element.reset_style()
+        for link in self.links.values():
+            link.style.clear()
+
+    # -- reflective form -------------------------------------------------------
+
+    def to_meta_model(self) -> Model:
+        """Serialize into a model conforming to the GDM metamodel."""
+        mm = gdm_metamodel()
+        model = Model(mm, name=self.name)
+        root = model.create("DebugModel", name=self.name,
+                            sourceModel=self.source_model)
+        model.add_root(root)
+        objects: Dict[str, object] = {}
+        for element in self.elements.values():
+            obj = model.create(
+                "GraphicalElement",
+                name=element.label,
+                sourcePath=element.source_path,
+                pattern=element.pattern.kind.value,
+                highlighted=element.highlighted,
+            )
+            if element.rect is not None:
+                obj.set("x", element.rect.x).set("y", element.rect.y)
+                obj.set("w", element.rect.w).set("h", element.rect.h)
+            root.add_ref("elements", obj)
+            objects[element.id] = obj
+        for link in self.links.values():
+            obj = model.create(
+                "Link", name=link.label, sourcePath=link.source_path,
+                pattern=link.pattern.kind.value,
+            )
+            obj.set_ref("source", objects[link.src_id])
+            obj.set_ref("target", objects[link.dst_id])
+            root.add_ref("links", obj)
+        for binding in self.bindings:
+            obj = model.create(
+                "CommandBinding",
+                commandKind=binding.command_kind.name,
+                pathSelector=binding.path_selector,
+                reaction=binding.reaction,
+            )
+            root.add_ref("bindings", obj)
+        return model
+
+    def __repr__(self) -> str:
+        return (f"<GdmModel {self.name!r}: {len(self.elements)} elements, "
+                f"{len(self.links)} links, {len(self.bindings)} bindings>")

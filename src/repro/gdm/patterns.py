@@ -1,0 +1,77 @@
+"""Graphical patterns — the display vocabulary of the abstraction guide.
+
+Fig 4 of the paper offers Rectangle, Triangle, Circle and Arrow as "GDM
+pattern options"; Line and Label round out what the prototype's GEF canvas
+drew. A :class:`PatternSpec` is a pattern plus display styling.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.errors import AbstractionError
+
+
+class PatternKind(enum.Enum):
+    """The graphical pattern vocabulary (paper Fig 4 options + line/label)."""
+
+    RECTANGLE = "Rectangle"
+    TRIANGLE = "Triangle"
+    CIRCLE = "Circle"
+    ARROW = "Arrow"
+    LINE = "Line"
+    LABEL = "Label"
+
+    @property
+    def is_edge(self) -> bool:
+        """Whether this pattern connects two elements."""
+        return self in (PatternKind.ARROW, PatternKind.LINE)
+
+    @classmethod
+    def from_name(cls, name: str) -> "PatternKind":
+        """Parse a user-facing pattern name (case-insensitive)."""
+        for kind in cls:
+            if kind.value.lower() == name.lower():
+                return kind
+        raise AbstractionError(
+            f"unknown pattern {name!r}; options: {[k.value for k in cls]}"
+        )
+
+    #: scene-graph shape name for each pattern
+    def shape(self) -> str:
+        return {
+            PatternKind.RECTANGLE: "rect",
+            PatternKind.TRIANGLE: "triangle",
+            PatternKind.CIRCLE: "circle",
+            PatternKind.ARROW: "arrow",
+            PatternKind.LINE: "line",
+            PatternKind.LABEL: "label",
+        }[self]
+
+
+class PatternSpec:
+    """A pattern with sizing and styling choices."""
+
+    def __init__(self, kind: PatternKind, fill: Optional[str] = None,
+                 stroke: Optional[str] = None, width: int = 14,
+                 height: int = 5) -> None:
+        if width <= 0 or height <= 0:
+            raise AbstractionError("pattern size must be positive")
+        self.kind = kind
+        self.fill = fill
+        self.stroke = stroke
+        self.width = width
+        self.height = height
+
+    def style(self) -> Dict[str, str]:
+        """Static style dict for scene nodes."""
+        style: Dict[str, str] = {}
+        if self.fill:
+            style["fill"] = self.fill
+        if self.stroke:
+            style["stroke"] = self.stroke
+        return style
+
+    def __repr__(self) -> str:
+        return f"<PatternSpec {self.kind.value} {self.width}x{self.height}>"

@@ -1,0 +1,41 @@
+"""GDM -> scene conversion for the render backends."""
+
+from __future__ import annotations
+
+from repro.errors import RenderError
+from repro.gdm.model import GdmModel
+from repro.render.geometry import Point, Rect
+from repro.render.scene import Scene, SceneNode
+
+
+def gdm_to_scene(gdm: GdmModel, title: str = "") -> Scene:
+    """Build a drawable scene from the debug model's current state.
+
+    Elements must have geometry (run the abstraction engine's layout first).
+    Links are drawn center-to-center underneath the shapes.
+    """
+    scene = Scene(title=title or gdm.name)
+    for element in gdm.elements.values():
+        if element.rect is None:
+            raise RenderError(
+                f"element {element.id} has no geometry; run assign_layout()"
+            )
+        style = dict(element.pattern.style())
+        style.update(element.style)
+        scene.add(SceneNode(
+            element.id, element.pattern.kind.shape(), element.rect,
+            label=element.label, style=style, z=1,
+        ))
+    for link in gdm.links.values():
+        src = gdm.elements[link.src_id]
+        dst = gdm.elements[link.dst_id]
+        p1, p2 = src.rect.center, dst.rect.center
+        box = Rect(min(p1.x, p2.x), min(p1.y, p2.y),
+                   abs(p1.x - p2.x) + 1, abs(p1.y - p2.y) + 1)
+        style = dict(link.pattern.style())
+        style.update(link.style)
+        scene.add(SceneNode(
+            link.id, link.pattern.kind.shape(), box, label=link.label,
+            style=style, z=0, endpoints=(Point(*p1), Point(*p2)),
+        ))
+    return scene

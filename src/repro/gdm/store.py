@@ -1,0 +1,79 @@
+"""GDM persistence: the "initial GDM file" of the prototype (Fig 6, step 3).
+
+Round-trips a runtime :class:`~repro.gdm.model.GdmModel` through its
+reflective form (conforming to the GDM metamodel) serialized as JSON — the
+same shape the Eclipse prototype would write to disk between the
+abstraction and debugging phases.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.comm.protocol import CommandKind
+from repro.errors import AbstractionError
+from repro.gdm.metamodel import gdm_metamodel
+from repro.gdm.model import CommandBinding, GdmModel
+from repro.gdm.patterns import PatternKind, PatternSpec
+from repro.meta.model import Model
+from repro.meta.serialize import model_from_dict, model_to_dict
+from repro.render.geometry import Rect
+
+
+def gdm_to_json(gdm: GdmModel) -> str:
+    """Serialize a debug model to a JSON document."""
+    return json.dumps(model_to_dict(gdm.to_meta_model()), indent=2)
+
+
+def gdm_from_meta_model(model: Model) -> GdmModel:
+    """Rebuild a runtime GdmModel from its reflective form."""
+    roots = model.roots
+    if len(roots) != 1 or roots[0].metaclass.name != "DebugModel":
+        raise AbstractionError("document is not a DebugModel")
+    root = roots[0]
+    gdm = GdmModel(root.get("name"), source_model=root.get("sourceModel"))
+
+    by_object_id: Dict[str, object] = {}
+    for obj in root.refs("elements"):
+        pattern = PatternSpec(PatternKind.from_name(obj.get("pattern")),
+                              width=obj.get("w"), height=obj.get("h"))
+        element = gdm.add_element(obj.get("name"), pattern,
+                                  obj.get("sourcePath"))
+        element.rect = Rect(obj.get("x"), obj.get("y"),
+                            obj.get("w"), obj.get("h"))
+        if obj.get("highlighted"):
+            element.style["highlighted"] = "true"
+        by_object_id[obj.id] = element
+    for obj in root.refs("links"):
+        pattern = PatternSpec(PatternKind.from_name(obj.get("pattern")))
+        gdm.add_link(by_object_id[obj.ref("source").id],
+                     by_object_id[obj.ref("target").id],
+                     pattern, source_path=obj.get("sourcePath"),
+                     label=obj.get("name"))
+    for obj in root.refs("bindings"):
+        gdm.add_binding(CommandBinding(
+            CommandKind[obj.get("commandKind")],
+            obj.get("pathSelector"),
+            obj.get("reaction"),
+        ))
+    return gdm
+
+
+def gdm_from_json(document: str) -> GdmModel:
+    """Inverse of :func:`gdm_to_json`."""
+    data = json.loads(document)
+    model = model_from_dict(data, gdm_metamodel())
+    return gdm_from_meta_model(model)
+
+
+def save_gdm(gdm: GdmModel, path: str) -> None:
+    """Write the GDM file."""
+    with open(path, "w") as handle:
+        handle.write(gdm_to_json(gdm))
+
+
+def load_gdm(path: str) -> GdmModel:
+    """Read a GDM file."""
+    with open(path) as handle:
+        return gdm_from_json(handle.read())

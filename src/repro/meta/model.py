@@ -1,0 +1,205 @@
+"""Model instances over a metamodel: typed objects in a containment tree."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ModelError
+from repro.meta.metamodel import AttributeKind, MetaClass, MetaModel
+from repro.util.ids import IdGenerator
+
+
+class ModelObject:
+    """An instance of a metaclass.
+
+    Attribute and reference access is checked against the metaclass, so a
+    model can never silently drift away from its metamodel — the property the
+    abstraction engine depends on when it navigates unknown models.
+    """
+
+    def __init__(self, metaclass: MetaClass, obj_id: str) -> None:
+        if metaclass.abstract:
+            raise ModelError(f"cannot instantiate abstract metaclass {metaclass.name}")
+        self.metaclass = metaclass
+        self.id = obj_id
+        self.container: Optional[ModelObject] = None
+        self.containing_feature: Optional[str] = None
+        self._attrs: Dict[str, Any] = {}
+        self._refs: Dict[str, List[ModelObject]] = {}
+        for name, attr in metaclass.all_attributes().items():
+            if attr.default is not None:
+                self._attrs[name] = attr.default
+
+    # -- attributes --------------------------------------------------------
+
+    def get(self, name: str) -> Any:
+        """Read an attribute (falls back to the declared default / None)."""
+        attrs = self.metaclass.all_attributes()
+        if name not in attrs:
+            raise ModelError(f"{self.metaclass.name} has no attribute {name!r}")
+        return self._attrs.get(name, attrs[name].default)
+
+    def set(self, name: str, value: Any) -> "ModelObject":
+        """Write an attribute with type checking; returns self for chaining."""
+        attrs = self.metaclass.all_attributes()
+        if name not in attrs:
+            raise ModelError(f"{self.metaclass.name} has no attribute {name!r}")
+        attr = attrs[name]
+        if not attr.accepts(value):
+            raise ModelError(
+                f"{self.metaclass.name}.{name}: {value!r} is not a valid "
+                f"{attr.kind.value}"
+                + (f" (allowed: {attr.enum_values})" if attr.kind is AttributeKind.ENUM else "")
+            )
+        self._attrs[name] = value
+        return self
+
+    # -- references ----------------------------------------------------
+
+    def _ref_spec(self, name: str):
+        refs = self.metaclass.all_references()
+        if name not in refs:
+            raise ModelError(f"{self.metaclass.name} has no reference {name!r}")
+        return refs[name]
+
+    def add_ref(self, name: str, target: "ModelObject") -> "ModelObject":
+        """Append *target* to reference *name* (single refs hold at most one)."""
+        spec = self._ref_spec(name)
+        if not target.metaclass.is_subtype_of(spec.target):
+            raise ModelError(
+                f"{self.metaclass.name}.{name} expects {spec.target}, "
+                f"got {target.metaclass.name}"
+            )
+        slot = self._refs.setdefault(name, [])
+        if not spec.many and slot:
+            raise ModelError(f"{self.metaclass.name}.{name} is single-valued")
+        if spec.containment:
+            if target.container is not None:
+                raise ModelError(f"{target.id} is already contained by {target.container.id}")
+            target.container = self
+            target.containing_feature = name
+        slot.append(target)
+        return self
+
+    def set_ref(self, name: str, target: "ModelObject") -> "ModelObject":
+        """Replace the value of a single-valued reference."""
+        spec = self._ref_spec(name)
+        if spec.many:
+            raise ModelError(f"{self.metaclass.name}.{name} is many-valued; use add_ref")
+        existing = self._refs.get(name, [])
+        if existing and spec.containment:
+            existing[0].container = None
+            existing[0].containing_feature = None
+        self._refs[name] = []
+        return self.add_ref(name, target)
+
+    def ref(self, name: str) -> Optional["ModelObject"]:
+        """Read a single-valued reference (None if unset)."""
+        spec = self._ref_spec(name)
+        if spec.many:
+            raise ModelError(f"{self.metaclass.name}.{name} is many-valued; use refs()")
+        slot = self._refs.get(name, [])
+        return slot[0] if slot else None
+
+    def refs(self, name: str) -> List["ModelObject"]:
+        """Read a many-valued reference as a list copy."""
+        self._ref_spec(name)
+        return list(self._refs.get(name, []))
+
+    def remove_ref(self, name: str, target: "ModelObject") -> None:
+        """Remove *target* from reference *name*."""
+        spec = self._ref_spec(name)
+        slot = self._refs.get(name, [])
+        if target not in slot:
+            raise ModelError(f"{target.id} not in {self.metaclass.name}.{name}")
+        slot.remove(target)
+        if spec.containment:
+            target.container = None
+            target.containing_feature = None
+
+    # -- navigation ------------------------------------------------------
+
+    def children(self) -> List["ModelObject"]:
+        """Directly contained objects, in feature-then-insertion order."""
+        result: List[ModelObject] = []
+        for name, spec in self.metaclass.all_references().items():
+            if spec.containment:
+                result.extend(self._refs.get(name, []))
+        return result
+
+    def iter_tree(self) -> Iterator["ModelObject"]:
+        """This object and all (transitively) contained objects, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.iter_tree()
+
+    @property
+    def label(self) -> str:
+        """Best human-readable name: the ``name`` attribute if present, else id."""
+        attrs = self.metaclass.all_attributes()
+        if "name" in attrs:
+            value = self.get("name")
+            if value:
+                return str(value)
+        return self.id
+
+    def __repr__(self) -> str:
+        return f"<{self.metaclass.name} {self.label} ({self.id})>"
+
+
+class Model:
+    """A model: a set of root objects conforming to one metamodel."""
+
+    def __init__(self, metamodel: MetaModel, name: str = "model") -> None:
+        self.metamodel = metamodel
+        self.name = name
+        self.roots: List[ModelObject] = []
+        self._ids = IdGenerator()
+        self._by_id: Dict[str, ModelObject] = {}
+
+    def create(self, metaclass_name: str, **attrs: Any) -> ModelObject:
+        """Instantiate a metaclass, register the object, set initial attributes."""
+        cls = self.metamodel.metaclass(metaclass_name)
+        obj = ModelObject(cls, self._ids.next(metaclass_name.lower()))
+        self._by_id[obj.id] = obj
+        for key, value in attrs.items():
+            obj.set(key, value)
+        return obj
+
+    def add_root(self, obj: ModelObject) -> ModelObject:
+        """Mark *obj* as a root of the model tree."""
+        if obj.container is not None:
+            raise ModelError(f"{obj.id} is contained by {obj.container.id}; not a root")
+        self.roots.append(obj)
+        return obj
+
+    def by_id(self, obj_id: str) -> ModelObject:
+        """Look up any registered object by id."""
+        try:
+            return self._by_id[obj_id]
+        except KeyError:
+            raise ModelError(f"no object with id {obj_id!r} in model {self.name}") from None
+
+    def has_id(self, obj_id: str) -> bool:
+        """Whether an object with *obj_id* is registered."""
+        return obj_id in self._by_id
+
+    def all_objects(self) -> List[ModelObject]:
+        """Every object reachable from the roots, pre-order."""
+        result: List[ModelObject] = []
+        for root in self.roots:
+            result.extend(root.iter_tree())
+        return result
+
+    def objects_of(self, metaclass_name: str) -> List[ModelObject]:
+        """All reachable objects whose class is (a subtype of) *metaclass_name*."""
+        return [
+            obj for obj in self.all_objects()
+            if obj.metaclass.is_subtype_of(metaclass_name)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.all_objects())
+
+    def __repr__(self) -> str:
+        return f"<Model {self.name!r} of {self.metamodel.name} ({len(self)} objects)>"

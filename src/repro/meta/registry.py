@@ -1,0 +1,41 @@
+"""A registry of known metamodels.
+
+The GMDF prototype lets the user pick the input metamodel from a file dialog
+(Fig 6, step 2); the registry plays that role programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import MetamodelError
+from repro.meta.metamodel import MetaModel
+
+
+class MetamodelRegistry:
+    """Name -> metamodel lookup with duplicate protection."""
+
+    def __init__(self) -> None:
+        self._metamodels: Dict[str, MetaModel] = {}
+
+    def register(self, metamodel: MetaModel) -> MetaModel:
+        """Register a metamodel after consistency-checking it."""
+        if metamodel.name in self._metamodels:
+            raise MetamodelError(f"metamodel {metamodel.name!r} already registered")
+        metamodel.check()
+        self._metamodels[metamodel.name] = metamodel
+        return metamodel
+
+    def get(self, name: str) -> MetaModel:
+        """Look up a registered metamodel."""
+        try:
+            return self._metamodels[name]
+        except KeyError:
+            raise MetamodelError(f"no metamodel named {name!r} registered") from None
+
+    def names(self) -> List[str]:
+        """Registered metamodel names, in registration order."""
+        return list(self._metamodels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metamodels

@@ -1,0 +1,75 @@
+"""Model serialization to plain dicts (an XMI stand-in).
+
+Objects are emitted in containment pre-order with attributes inline;
+cross-references are emitted by id and resolved in a second pass, so
+arbitrary reference graphs round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import ModelError
+from repro.meta.metamodel import MetaModel
+from repro.meta.model import Model, ModelObject
+
+
+def model_to_dict(model: Model) -> Dict[str, Any]:
+    """Serialize *model* (objects, attributes, references) to a dict."""
+    objects: List[Dict[str, Any]] = []
+    for obj in model.all_objects():
+        record: Dict[str, Any] = {
+            "id": obj.id,
+            "class": obj.metaclass.name,
+            "attrs": {
+                name: obj.get(name)
+                for name in obj.metaclass.all_attributes()
+                if obj.get(name) is not None
+            },
+            "refs": {},
+        }
+        for name, spec in obj.metaclass.all_references().items():
+            targets = obj.refs(name) if spec.many else (
+                [obj.ref(name)] if obj.ref(name) else []
+            )
+            if targets:
+                record["refs"][name] = [t.id for t in targets]
+        objects.append(record)
+    return {
+        "metamodel": model.metamodel.name,
+        "name": model.name,
+        "roots": [root.id for root in model.roots],
+        "objects": objects,
+    }
+
+
+def model_from_dict(data: Dict[str, Any], metamodel: MetaModel) -> Model:
+    """Reconstruct a model previously produced by :func:`model_to_dict`."""
+    if data.get("metamodel") != metamodel.name:
+        raise ModelError(
+            f"document is a {data.get('metamodel')!r} model, expected {metamodel.name!r}"
+        )
+    model = Model(metamodel, name=data.get("name", "model"))
+    by_id: Dict[str, ModelObject] = {}
+
+    # Pass 1: create objects and set attributes.
+    for record in data["objects"]:
+        cls = metamodel.metaclass(record["class"])
+        obj = ModelObject(cls, record["id"])
+        for name, value in record.get("attrs", {}).items():
+            obj.set(name, value)
+        by_id[obj.id] = obj
+        model._by_id[obj.id] = obj  # registered with its original id
+
+    # Pass 2: wire references (containment included).
+    for record in data["objects"]:
+        obj = by_id[record["id"]]
+        for name, target_ids in record.get("refs", {}).items():
+            for target_id in target_ids:
+                if target_id not in by_id:
+                    raise ModelError(f"{obj.id}.{name}: dangling target {target_id!r}")
+                obj.add_ref(name, by_id[target_id])
+
+    for root_id in data.get("roots", []):
+        model.add_root(by_id[root_id])
+    return model

@@ -1,0 +1,46 @@
+"""Structural validation of models against their metamodel."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ValidationError
+from repro.meta.model import Model
+
+
+def validation_problems(model: Model) -> List[str]:
+    """Collect structural problems without raising.
+
+    Checks: required attributes set, required references populated,
+    cross-references point at registered objects, and every contained
+    object is reachable exactly once (tree-shaped containment).
+    """
+    problems: List[str] = []
+    seen_ids = set()
+    for obj in model.all_objects():
+        if obj.id in seen_ids:
+            problems.append(f"{obj.id}: appears in the containment tree twice")
+            continue
+        seen_ids.add(obj.id)
+        for name, attr in obj.metaclass.all_attributes().items():
+            if attr.required and obj.get(name) is None:
+                problems.append(f"{obj.id}: required attribute {name!r} unset")
+        for name, spec in obj.metaclass.all_references().items():
+            targets = obj.refs(name) if spec.many else (
+                [obj.ref(name)] if obj.ref(name) is not None else []
+            )
+            if spec.required and not targets:
+                problems.append(f"{obj.id}: required reference {name!r} empty")
+            for target in targets:
+                if not model.has_id(target.id):
+                    problems.append(
+                        f"{obj.id}.{name}: target {target.id} is not in the model"
+                    )
+    return problems
+
+
+def validate_model(model: Model) -> None:
+    """Raise :class:`ValidationError` listing all problems, if any."""
+    problems = validation_problems(model)
+    if problems:
+        raise ValidationError(problems)

@@ -1,0 +1,75 @@
+"""Animation frames: the model-behaviour movie GMDF shows at runtime.
+
+Each frame is a lightweight snapshot of the debug model's dynamic style
+(which elements are highlighted, annotated values), timestamped with the
+command that caused it. Frames are cheap to capture (no scene rebuild), and
+any frame can be rendered on demand by re-applying its styles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class AnimationFrame:
+    """One animation step: time, trigger and the dynamic style snapshot."""
+
+    __slots__ = ("index", "t_us", "trigger", "styles")
+
+    def __init__(self, index: int, t_us: int, trigger: str,
+                 styles: Dict[str, Dict[str, str]]) -> None:
+        self.index = index
+        self.t_us = t_us
+        self.trigger = trigger
+        #: element id -> style dict at this instant
+        self.styles = styles
+
+    def highlighted(self) -> List[str]:
+        """Ids of elements highlighted in this frame."""
+        return sorted(
+            element_id for element_id, style in self.styles.items()
+            if style.get("highlighted") == "true"
+        )
+
+    def __repr__(self) -> str:
+        return f"<AnimationFrame #{self.index} t={self.t_us}us {self.trigger}>"
+
+
+class FrameSequence:
+    """An append-only sequence of animation frames."""
+
+    def __init__(self, max_frames: Optional[int] = None) -> None:
+        self._frames: List[AnimationFrame] = []
+        self.max_frames = max_frames
+        self.dropped = 0
+
+    def capture(self, t_us: int, trigger: str,
+                styles: Dict[str, Dict[str, str]]) -> Optional[AnimationFrame]:
+        """Append a frame (dropped silently past ``max_frames``)."""
+        if self.max_frames is not None and len(self._frames) >= self.max_frames:
+            self.dropped += 1
+            return None
+        frame = AnimationFrame(len(self._frames), t_us, trigger,
+                               {k: dict(v) for k, v in styles.items()})
+        self._frames.append(frame)
+        return frame
+
+    def frames(self) -> List[AnimationFrame]:
+        """All captured frames in order."""
+        return list(self._frames)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __getitem__(self, index: int) -> AnimationFrame:
+        return self._frames[index]
+
+    def frame_at_time(self, t_us: int) -> Optional[AnimationFrame]:
+        """Latest frame with timestamp <= *t_us* (None before the first)."""
+        best: Optional[AnimationFrame] = None
+        for frame in self._frames:
+            if frame.t_us <= t_us:
+                best = frame
+            else:
+                break
+        return best

@@ -1,0 +1,94 @@
+"""ASCII backend: render a scene into a character grid.
+
+Coarse but assertable: tests check that the right elements appear, that the
+highlighted state is marked, and that figures regenerate deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.render.geometry import Point
+from repro.render.scene import Scene, SceneNode
+from repro.util.textgrid import TextGrid
+
+
+def _draw_line(grid: TextGrid, p1: Point, p2: Point, arrow: bool) -> None:
+    # Bresenham over character cells.
+    x0, y0, x1, y1 = p1.x, p1.y, p2.x, p2.y
+    dx, dy = abs(x1 - x0), abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    err = dx - dy
+    x, y = x0, y0
+    ch = "-" if dx >= dy else "|"
+    while True:
+        grid.put(x, y, ch)
+        if (x, y) == (x1, y1):
+            break
+        e2 = 2 * err
+        if e2 > -dy:
+            err -= dy
+            x += sx
+        if e2 < dx:
+            err += dx
+            y += sy
+    if arrow:
+        grid.put(x1, y1, ">" if dx >= dy else ("v" if y1 > y0 else "^"))
+
+
+def _draw_node(grid: TextGrid, node: SceneNode, ox: int, oy: int) -> None:
+    r = node.rect
+    x, y = r.x + ox, r.y + oy
+    highlighted = node.style.get("highlighted") == "true"
+    error = node.style.get("error") == "true"
+    label = node.label
+    if error:
+        label = f"!{label}!"
+    elif highlighted:
+        label = f"*{label}*"
+    annotation = node.style.get("value", "")
+    if annotation:
+        label = f"{label}={annotation}"
+
+    if node.shape in ("arrow", "line"):
+        p1, p2 = node.endpoints
+        _draw_line(grid, Point(p1.x + ox, p1.y + oy),
+                   Point(p2.x + ox, p2.y + oy), node.shape == "arrow")
+        return
+    if node.shape == "label":
+        grid.text(x, y, label)
+        return
+    if r.w >= 2 and r.h >= 2:
+        grid.box(x, y, r.w, r.h, label=label)
+        if node.shape == "circle":
+            grid.put(x, y, "(")
+            grid.put(x + r.w - 1, y, ")")
+            grid.put(x, y + r.h - 1, "(")
+            grid.put(x + r.w - 1, y + r.h - 1, ")")
+        elif node.shape == "triangle":
+            grid.put(x, y, "/")
+            grid.put(x + r.w - 1, y, "\\")
+    else:
+        grid.text(x, y, label)
+
+
+def scene_to_ascii(scene: Scene, max_width: int = 200,
+                   max_height: int = 120) -> str:
+    """Render *scene* to multi-line ASCII art."""
+    bounds = scene.bounds().inflate(1)
+    width = min(max_width, bounds.w + 2)
+    height = min(max_height, bounds.h + 2)
+    grid = TextGrid(max(width, len(scene.title) + 2, 4), max(height, 3))
+    ox, oy = -bounds.x + 1, -bounds.y + 1
+
+    # Edges below, shapes above (labels must stay readable).
+    for node in scene.nodes():
+        if node.shape in ("arrow", "line"):
+            _draw_node(grid, node, ox, oy)
+    for node in scene.nodes():
+        if node.shape not in ("arrow", "line"):
+            _draw_node(grid, node, ox, oy)
+
+    art = grid.render()
+    if scene.title:
+        art = f"[{scene.title}]\n{art}"
+    return art

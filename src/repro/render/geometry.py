@@ -1,0 +1,66 @@
+"""Integer geometry primitives for the scene graph."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """A 2D point."""
+
+    x: int
+    y: int
+
+
+class Size(NamedTuple):
+    """A width/height pair."""
+
+    w: int
+    h: int
+
+
+class Rect(NamedTuple):
+    """An axis-aligned rectangle (x, y = top-left corner)."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    @property
+    def center(self) -> Point:
+        """Center point (integer division)."""
+        return Point(self.x + self.w // 2, self.y + self.h // 2)
+
+    @property
+    def right(self) -> int:
+        """x of the right edge."""
+        return self.x + self.w
+
+    @property
+    def bottom(self) -> int:
+        """y of the bottom edge."""
+        return self.y + self.h
+
+    def contains(self, point: Point) -> bool:
+        """Whether *point* lies inside (inclusive of edges)."""
+        return (self.x <= point.x <= self.right
+                and self.y <= point.y <= self.bottom)
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether two rectangles overlap (strictly)."""
+        return not (self.right <= other.x or other.right <= self.x
+                    or self.bottom <= other.y or other.bottom <= self.y)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        x0 = min(self.x, other.x)
+        y0 = min(self.y, other.y)
+        x1 = max(self.right, other.right)
+        y1 = max(self.bottom, other.bottom)
+        return Rect(x0, y0, x1 - x0, y1 - y0)
+
+    def inflate(self, margin: int) -> "Rect":
+        """Grow by *margin* on every side."""
+        return Rect(self.x - margin, self.y - margin,
+                    self.w + 2 * margin, self.h + 2 * margin)

@@ -1,0 +1,79 @@
+"""A retained scene graph of drawable nodes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RenderError
+from repro.render.geometry import Point, Rect
+
+#: shape vocabulary shared by all backends
+SHAPES = ("rect", "circle", "triangle", "arrow", "line", "label")
+
+
+class SceneNode:
+    """One drawable: a shape with bounds, label and style.
+
+    For ``arrow``/``line`` shapes, ``endpoints`` carries the two anchor
+    points and ``rect`` is their bounding box.
+    """
+
+    def __init__(self, node_id: str, shape: str, rect: Rect, label: str = "",
+                 style: Optional[Dict[str, str]] = None, z: int = 0,
+                 endpoints: Optional[Tuple[Point, Point]] = None) -> None:
+        if shape not in SHAPES:
+            raise RenderError(f"unknown shape {shape!r} (allowed: {SHAPES})")
+        if shape in ("arrow", "line") and endpoints is None:
+            raise RenderError(f"{shape} node {node_id!r} needs endpoints")
+        self.id = node_id
+        self.shape = shape
+        self.rect = rect
+        self.label = label
+        self.style: Dict[str, str] = dict(style or {})
+        self.z = z
+        self.endpoints = endpoints
+
+    def __repr__(self) -> str:
+        return f"<SceneNode {self.id} {self.shape} at {tuple(self.rect)}>"
+
+
+class Scene:
+    """An ordered collection of scene nodes with z-sorting."""
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self._nodes: Dict[str, SceneNode] = {}
+
+    def add(self, node: SceneNode) -> SceneNode:
+        """Add a node (ids must be unique)."""
+        if node.id in self._nodes:
+            raise RenderError(f"scene already has a node {node.id!r}")
+        self._nodes[node.id] = node
+        return node
+
+    def node(self, node_id: str) -> SceneNode:
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise RenderError(f"no scene node {node_id!r}") from None
+
+    def nodes(self) -> List[SceneNode]:
+        """Nodes in draw order (z, then insertion)."""
+        return sorted(self._nodes.values(), key=lambda n: n.z)
+
+    def bounds(self) -> Rect:
+        """Bounding box of the whole scene (0,0,1,1 when empty)."""
+        nodes = list(self._nodes.values())
+        if not nodes:
+            return Rect(0, 0, 1, 1)
+        box = nodes[0].rect
+        for node in nodes[1:]:
+            box = box.union(node.rect)
+        return box
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes

@@ -1,0 +1,202 @@
+"""The DTM kernel: periodic actor tasks over boards, schedulers and the bus.
+
+Semantics per actor job:
+
+1. **Release** at ``offset + k*period``. If the target is stalled by the
+   debugger, the job is skipped (the paper's model-level breakpoint pauses
+   the application).
+2. **Input latching**: consumed signals are read from the node's bus view
+   and written into the actor's latched input words.
+3. **Functional execution** on the node's board (generated code). The job's
+   CPU demand is the measured cycle count.
+4. **Completion** is computed by the node's preemptive fixed-priority
+   scheduler (interference from other jobs delays it).
+5. **Output publication**: with ``latched=True`` the outputs captured at
+   completion become visible exactly at the deadline instant (DTM); with
+   ``latched=False`` they become visible at completion (the jitter
+   ablation). Deadline misses publish at completion and are counted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.comdes.actor import Actor
+from repro.comdes.system import System
+from repro.errors import SchedulerError
+from repro.rtos.jitter import JitterMeter
+from repro.rtos.network import SignalBus
+from repro.rtos.scheduler import NodeScheduler
+from repro.rtos.task import ActiveJob, JobRecord, LoadTask
+from repro.sim.kernel import Simulator
+from repro.target.board import Board
+from repro.target.firmware import FirmwareImage
+
+#: hook called before a job's functional execution: (actor_name, t_release)
+JobHook = Callable[[str, int], None]
+
+
+class _NodeRuntime:
+    """Board + scheduler of one computation node."""
+
+    def __init__(self, sim: Simulator, node: str, firmware: FirmwareImage,
+                 board: Optional[Board]) -> None:
+        self.node = node
+        self.board = board if board is not None else Board()
+        self.board.load_firmware(firmware)
+        self.scheduler = NodeScheduler(sim, node)
+        self.job_hooks: List[JobHook] = []
+
+
+class DtmKernel:
+    """Executes a COMDES system under Distributed Timed Multitasking."""
+
+    def __init__(
+        self,
+        system: System,
+        firmware: FirmwareImage,
+        sim: Optional[Simulator] = None,
+        latched: bool = True,
+        net_delay_us: int = 100,
+        boards: Optional[Dict[str, Board]] = None,
+    ) -> None:
+        self.system = system
+        self.firmware = firmware
+        self.sim = sim if sim is not None else Simulator()
+        self.latched = latched
+        self._nodes: Dict[str, _NodeRuntime] = {}
+        for node in system.nodes():
+            board = (boards or {}).get(node)
+            self._nodes[node] = _NodeRuntime(self.sim, node, firmware, board)
+        self.bus = SignalBus(self.sim, system.nodes(),
+                             system.initial_board(), net_delay_us)
+        self.jitter = JitterMeter()
+        self.records: List[JobRecord] = []
+        self.deadline_misses = 0
+        self.jobs_skipped = 0
+        self._job_index: Dict[str, int] = {a: 0 for a in system.actors}
+        self._load_tasks: List[LoadTask] = []
+        self._started = False
+
+    # -- configuration -----------------------------------------------------
+
+    def board_of(self, node: str) -> Board:
+        """The board hosting *node*'s actors."""
+        try:
+            return self._nodes[node].board
+        except KeyError:
+            raise SchedulerError(f"unknown node {node!r}") from None
+
+    def add_job_hook(self, node: str, hook: JobHook) -> None:
+        """Call *hook(actor, t_release)* before each job on *node* runs."""
+        self._nodes[node].job_hooks.append(hook)
+
+    def add_load_task(self, load: LoadTask) -> None:
+        """Register a synthetic interference task (jitter experiments)."""
+        if load.node not in self._nodes:
+            raise SchedulerError(f"load task on unknown node {load.node!r}")
+        self._load_tasks.append(load)
+
+    # -- execution --------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule all periodic releases (idempotent-guarded)."""
+        if self._started:
+            raise SchedulerError("kernel already started")
+        self._started = True
+        for actor in self.system.actors.values():
+            self.sim.every(actor.task.period_us, self._release_actor, actor,
+                           start=actor.task.offset_us)
+        for load in self._load_tasks:
+            self.sim.every(load.period_us, self._release_load, load,
+                           start=load.offset_us)
+
+    def run(self, duration_us: int) -> None:
+        """Start (if needed) and simulate until *duration_us*."""
+        if not self._started:
+            self.start()
+        self.sim.run_until(duration_us)
+
+    # -- actor jobs ----------------------------------------------------------
+
+    def _release_actor(self, actor: Actor) -> None:
+        now = self.sim.now
+        runtime = self._nodes[actor.node]
+        index = self._job_index[actor.name]
+        self._job_index[actor.name] += 1
+        deadline_abs = now + actor.task.deadline_us
+
+        if runtime.board.stalled:
+            self.jobs_skipped += 1
+            self.records.append(JobRecord(
+                actor.name, index, now, None, deadline_abs, 0, skipped=True,
+            ))
+            return
+
+        # Input latching at the release instant.
+        for port, signal in actor.inputs.items():
+            addr = self.firmware.symbols.addr_of(f"{actor.name}.in.{port}")
+            runtime.board.memory.poke(addr, self.bus.read(actor.node, signal))
+
+        for hook in runtime.job_hooks:
+            hook(actor.name, now)
+
+        result = runtime.board.run_task(actor.name)
+        demand_us = runtime.board.cycles_to_us(result.cycles)
+
+        # Outputs are captured now (they are functions of latched inputs);
+        # visibility is deferred to completion/deadline below.
+        outputs: Dict[str, int] = {}
+        for port, signal in actor.outputs.items():
+            addr = self.firmware.symbols.addr_of(f"{actor.name}.out.{port}")
+            outputs[signal] = runtime.board.memory.peek(addr)
+
+        job = ActiveJob(
+            actor.name, actor.task.priority, now, deadline_abs, demand_us,
+            on_complete=lambda t_done, a=actor, i=index, o=outputs,
+                               r=now, d=deadline_abs, c=demand_us:
+                self._on_job_complete(a, i, o, r, d, c, t_done),
+        )
+        runtime.scheduler.release(job)
+
+    def _on_job_complete(self, actor: Actor, index: int,
+                         outputs: Dict[str, int], release: int,
+                         deadline_abs: int, demand_us: int,
+                         t_done: int) -> None:
+        record = JobRecord(actor.name, index, release, t_done, deadline_abs,
+                           demand_us)
+        self.records.append(record)
+        if record.missed:
+            self.deadline_misses += 1
+        if self.latched and not record.missed:
+            # DTM: publish exactly at the deadline instant.
+            self.sim.schedule_at(deadline_abs, self._publish, actor, release,
+                                 outputs)
+        else:
+            self._publish(actor, release, outputs)
+
+    def _publish(self, actor: Actor, release: int,
+                 outputs: Dict[str, int]) -> None:
+        now = self.sim.now
+        for signal, value in outputs.items():
+            self.bus.publish(actor.node, signal, value)
+            self.jitter.record(signal, release, now)
+
+    # -- load jobs --------------------------------------------------------
+
+    def _release_load(self, load: LoadTask) -> None:
+        now = self.sim.now
+        runtime = self._nodes[load.node]
+        job = ActiveJob(load.name, load.priority, now,
+                        now + load.period_us, load.demand_us)
+        runtime.scheduler.release(job)
+
+    # -- queries ------------------------------------------------------------
+
+    def records_for(self, actor_name: str) -> List[JobRecord]:
+        """Completed/skipped job records of one actor."""
+        return [r for r in self.records if r.actor == actor_name]
+
+    def signal_value(self, node: str, signal: str) -> int:
+        """Current bus view of *signal* on *node*."""
+        return self.bus.read(node, signal)

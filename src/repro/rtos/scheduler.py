@@ -1,0 +1,88 @@
+"""Fixed-priority preemptive scheduling of one node's CPU.
+
+Event-driven: the scheduler only acts at releases and completions. Between
+events the running job's remaining demand drains linearly, so a tentative
+completion event is kept for the current job and re-planned whenever the
+job set changes — the textbook technique for exact preemptive simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SchedulerError
+from repro.rtos.task import ActiveJob
+from repro.sim.kernel import ScheduledEvent, Simulator
+
+
+class NodeScheduler:
+    """Preemptive fixed-priority scheduler for one node."""
+
+    def __init__(self, sim: Simulator, node: str) -> None:
+        self.sim = sim
+        self.node = node
+        self._jobs: List[ActiveJob] = []
+        self._running: Optional[ActiveJob] = None
+        self._last_update: int = 0
+        self._completion_event: Optional[ScheduledEvent] = None
+        self.preemptions = 0
+        self.jobs_completed = 0
+
+    @property
+    def busy(self) -> bool:
+        """Whether any job is currently active on this node."""
+        return bool(self._jobs)
+
+    def release(self, job: ActiveJob) -> None:
+        """Admit a job at the current simulation time."""
+        if job.release != self.sim.now:
+            raise SchedulerError(
+                f"job {job.name} released at t={self.sim.now} but stamped "
+                f"{job.release}"
+            )
+        self._update_progress()
+        self._jobs.append(job)
+        self._replan()
+
+    def _update_progress(self) -> None:
+        now = self.sim.now
+        if self._running is not None:
+            elapsed = now - self._last_update
+            self._running.remaining_us -= elapsed
+            if self._running.remaining_us < 0:
+                raise SchedulerError(
+                    f"job {self._running.name} overran its demand accounting"
+                )
+        self._last_update = now
+
+    def _replan(self) -> None:
+        """Pick the highest-priority job and (re)schedule its completion."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._jobs:
+            self._running = None
+            return
+        best = min(self._jobs, key=ActiveJob.sort_key)
+        if self._running is not None and best is not self._running:
+            self.preemptions += 1
+        self._running = best
+        self._last_update = self.sim.now
+        self._completion_event = self.sim.schedule(
+            best.remaining_us, self._complete, best
+        )
+
+    def _complete(self, job: ActiveJob) -> None:
+        self._update_progress()
+        if job.remaining_us != 0:
+            raise SchedulerError(
+                f"job {job.name} completed with {job.remaining_us}us remaining"
+            )
+        self._jobs.remove(job)
+        self._completion_event = None
+        self._running = None
+        job.completion = self.sim.now
+        self.jobs_completed += 1
+        if job.on_complete is not None:
+            job.on_complete(self.sim.now)
+        self._replan()

@@ -1,0 +1,11 @@
+"""Discrete-event simulation kernel.
+
+Everything time-dependent in the reproduction — the virtual target board, the
+RS-232/JTAG links, the RTOS scheduler, the debugger engine — runs on this
+kernel. Time is integer microseconds (see :mod:`repro.util.timeunits`).
+"""
+
+from repro.sim.kernel import ScheduledEvent, Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["Simulator", "ScheduledEvent", "RngStreams"]

@@ -1,0 +1,137 @@
+"""Event-queue simulator.
+
+A classic calendar-queue kernel: callbacks are scheduled at absolute integer
+timestamps and executed in (time, insertion order) order. Insertion order as
+the tie-breaker makes simultaneous events deterministic, which the trace and
+replay machinery relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class ScheduledEvent:
+    """Handle to a pending callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Discrete-event simulator with integer-microsecond time."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._queue: List[ScheduledEvent] = []
+        self._executed: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled tombstones)."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule *fn(*args)* at absolute *time* (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at t={time} before now={self._now}")
+        self._seq += 1
+        event = ScheduledEvent(time, self._seq, fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule *fn(*args)* after *delay* microseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def every(self, period: int, fn: Callable[..., Any], *args: Any,
+              start: Optional[int] = None) -> ScheduledEvent:
+        """Schedule *fn* periodically; returns the handle of the *next* firing.
+
+        Cancelling the returned handle only cancels the next occurrence, so
+        periodic activities that must be stoppable should instead check a
+        flag inside *fn*. The first firing is at *start* (default: now +
+        period).
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        first = start if start is not None else self._now + period
+
+        def tick(*tick_args: Any) -> None:
+            fn(*tick_args)
+            self.schedule(period, tick, *tick_args)
+
+        return self.schedule_at(first, tick, *args)
+
+    def step(self) -> bool:
+        """Execute the next event; return False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._executed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run_until(self, time: int) -> int:
+        """Run events with timestamp <= *time*; advance clock to *time*.
+
+        Returns the number of events executed. Events scheduled during the
+        run are honoured if they fall inside the horizon.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot run backwards to t={time} from now={self._now}")
+        executed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            executed += 1
+        self._now = time
+        return executed
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue drains; guard against runaway self-scheduling."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+        return executed

@@ -1,0 +1,50 @@
+"""A minimal synchronous publish/subscribe event bus.
+
+Used to decouple the debugger engine from observers (trace recorder,
+animation capture, requirement monitors) without threading.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List
+
+Handler = Callable[..., None]
+
+
+class EventBus:
+    """Synchronous topic-based pub/sub.
+
+    Handlers are invoked in subscription order, on the publisher's stack.
+    A handler raising propagates to the publisher — errors should never pass
+    silently in a debugger framework.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List[Handler]] = defaultdict(list)
+        self._published: int = 0
+
+    def subscribe(self, topic: str, handler: Handler) -> None:
+        """Register *handler* for *topic*."""
+        self._handlers[topic].append(handler)
+
+    def unsubscribe(self, topic: str, handler: Handler) -> None:
+        """Remove *handler* from *topic*; raises ValueError if absent."""
+        self._handlers[topic].remove(handler)
+
+    def publish(self, topic: str, **payload: Any) -> int:
+        """Invoke every handler subscribed to *topic*; return handler count."""
+        self._published += 1
+        handlers = list(self._handlers.get(topic, ()))
+        for handler in handlers:
+            handler(**payload)
+        return len(handlers)
+
+    def subscriber_count(self, topic: str) -> int:
+        """Number of handlers currently subscribed to *topic*."""
+        return len(self._handlers.get(topic, ()))
+
+    @property
+    def published_count(self) -> int:
+        """Total number of publish calls (all topics)."""
+        return self._published

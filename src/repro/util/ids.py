@@ -1,0 +1,31 @@
+"""Deterministic identifier generation.
+
+Models, debug-model elements and trace events all need stable ids. Random
+UUIDs would make test output and serialized artifacts non-reproducible, so
+ids are sequential per prefix: ``state#1``, ``state#2``, ...
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class IdGenerator:
+    """Hands out ids of the form ``<prefix>#<n>`` with a per-prefix counter."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for *prefix* (counters start at 1)."""
+        self._counters[prefix] += 1
+        return f"{prefix}#{self._counters[prefix]}"
+
+    def peek(self, prefix: str) -> int:
+        """Return how many ids have been issued for *prefix*."""
+        return self._counters[prefix]
+
+    def reset(self) -> None:
+        """Forget all counters (used between independent builds)."""
+        self._counters.clear()

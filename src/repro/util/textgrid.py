@@ -1,0 +1,67 @@
+"""A character-cell canvas for headless "screenshots".
+
+The paper's prototype renders models on an Eclipse/GEF canvas; the ASCII
+backend draws the same scenes into a character grid so figures can be
+regenerated in a terminal and asserted on in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class TextGrid:
+    """A fixed-size grid of characters with simple drawing primitives."""
+
+    def __init__(self, width: int, height: int, fill: str = " ") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"grid must be positive-sized, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._cells: List[List[str]] = [[fill] * width for _ in range(height)]
+
+    def put(self, x: int, y: int, ch: str) -> None:
+        """Set a single cell; out-of-bounds writes are clipped silently."""
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self._cells[y][x] = ch[0]
+
+    def get(self, x: int, y: int) -> str:
+        """Read a single cell (raises IndexError when out of bounds)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"({x},{y}) outside {self.width}x{self.height} grid")
+        return self._cells[y][x]
+
+    def text(self, x: int, y: int, s: str) -> None:
+        """Write a horizontal string starting at (x, y), clipping at edges."""
+        for i, ch in enumerate(s):
+            self.put(x + i, y, ch)
+
+    def hline(self, x0: int, x1: int, y: int, ch: str = "-") -> None:
+        """Horizontal line from x0 to x1 inclusive."""
+        for x in range(min(x0, x1), max(x0, x1) + 1):
+            self.put(x, y, ch)
+
+    def vline(self, x: int, y0: int, y1: int, ch: str = "|") -> None:
+        """Vertical line from y0 to y1 inclusive."""
+        for y in range(min(y0, y1), max(y0, y1) + 1):
+            self.put(x, y, ch)
+
+    def box(self, x: int, y: int, w: int, h: int, label: str = "") -> None:
+        """Draw a box with ``+`` corners; optional centered label inside."""
+        if w < 2 or h < 2:
+            raise ValueError(f"box must be at least 2x2, got {w}x{h}")
+        self.hline(x, x + w - 1, y)
+        self.hline(x, x + w - 1, y + h - 1)
+        self.vline(x, y, y + h - 1)
+        self.vline(x + w - 1, y, y + h - 1)
+        for cx, cy in ((x, y), (x + w - 1, y), (x, y + h - 1), (x + w - 1, y + h - 1)):
+            self.put(cx, cy, "+")
+        if label:
+            clipped = label[: max(0, w - 2)]
+            lx = x + 1 + max(0, (w - 2 - len(clipped)) // 2)
+            ly = y + h // 2
+            self.text(lx, ly, clipped)
+
+    def render(self) -> str:
+        """Return the grid as a newline-joined string, trailing spaces stripped."""
+        return "\n".join("".join(row).rstrip() for row in self._cells)

@@ -1,0 +1,49 @@
+"""Time units.
+
+All simulated time in this library is expressed as **integer microseconds**.
+Integers keep the discrete-event kernel exactly ordered (no float drift) and
+make traces byte-for-byte reproducible. These helpers convert human-friendly
+values into microseconds and back.
+"""
+
+from __future__ import annotations
+
+US = 1
+MS = 1_000
+SEC = 1_000_000
+
+
+def us(value: float) -> int:
+    """Microseconds, rounded to the integer time base."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Milliseconds -> microseconds."""
+    return round(value * MS)
+
+
+def sec(value: float) -> int:
+    """Seconds -> microseconds."""
+    return round(value * SEC)
+
+
+def format_us(t: int) -> str:
+    """Render a microsecond timestamp using the largest unit that stays exact.
+
+    >>> format_us(2_500_000)
+    '2.5s'
+    >>> format_us(1500)
+    '1.5ms'
+    >>> format_us(42)
+    '42us'
+    """
+    if t % SEC == 0:
+        return f"{t // SEC}s"
+    if t >= SEC:
+        return f"{t / SEC:g}s"
+    if t % MS == 0:
+        return f"{t // MS}ms"
+    if t >= MS:
+        return f"{t / MS:g}ms"
+    return f"{t}us"

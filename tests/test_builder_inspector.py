@@ -1,0 +1,143 @@
+"""Tests for the fluent system builder and the model-level inspector."""
+
+import pytest
+
+from repro.codegen import InstrumentationPlan, generate_firmware
+from repro.comdes.blocks import GainFB, SequenceFB
+from repro.comdes.builder import SystemBuilder
+from repro.comdes.examples import (
+    blinker_machine, cruise_control_system, traffic_light_machine,
+    traffic_light_system,
+)
+from repro.engine.inspector import ModelInspector
+from repro.errors import DebuggerError, ModelError, ValidationError
+from repro.rtos.kernel import DtmKernel
+from repro.util.timeunits import ms
+
+
+def built_traffic_light():
+    return (SystemBuilder("built_light")
+            .signal("btn")
+            .signal("light")
+            .actor("pedestrian", period_us=ms(100))
+                .block(SequenceFB("script", values=[0] * 6 + [1]))
+                .writes("btn", from_="script.y")
+            .done()
+            .actor("lights", period_us=ms(100))
+                .machine("lamp", traffic_light_machine())
+                .reads("btn", into="lamp.btn")
+                .writes("light", from_="lamp.light")
+            .done()
+            .build())
+
+
+class TestSystemBuilder:
+    def test_builder_system_matches_handwritten(self):
+        built = built_traffic_light()
+        handwritten = traffic_light_system()
+        assert (built.lockstep_run(30)
+                == handwritten.lockstep_run(30))
+
+    def test_priorities_default_to_declaration_order(self):
+        system = built_traffic_light()
+        assert system.actor("pedestrian").task.priority == 1
+        assert system.actor("lights").task.priority == 2
+
+    def test_wire_and_fan_out(self):
+        system = (SystemBuilder("fan")
+                  .signal("u").signal("a").signal("b")
+                  .actor("stim", period_us=1000)
+                      .block(SequenceFB("s", values=[5]))
+                      .writes("u", from_="s.y")
+                  .done()
+                  .actor("proc", period_us=1000)
+                      .block(GainFB("g1", num=2))
+                      .block(GainFB("g2", num=3))
+                      .reads("u", into="g1.u")
+                      .reads("u", into="g2.u")
+                      .writes("a", from_="g1.y")
+                      .writes("b", from_="g2.y")
+                  .done()
+                  .build())
+        history = system.lockstep_run(3)
+        assert history[-1]["a"] == 10 and history[-1]["b"] == 15
+
+    def test_duplicate_output_rejected(self):
+        builder = (SystemBuilder("dup").signal("x")
+                   .actor("a", period_us=1000)
+                   .block(SequenceFB("s", values=[1]))
+                   .writes("x", from_="s.y"))
+        with pytest.raises(ModelError):
+            builder.writes("x", from_="s.y")
+
+    def test_build_validates(self):
+        builder = SystemBuilder("bad").signal("orphan")
+        with pytest.raises(ValidationError):
+            builder.build()
+
+    def test_generated_firmware_equivalence(self):
+        from repro.codegen import run_firmware_lockstep
+        system = built_traffic_light()
+        firmware = generate_firmware(system, InstrumentationPlan.full())
+        assert (run_firmware_lockstep(system, firmware, 40)
+                == system.lockstep_run(40))
+
+
+class TestModelInspector:
+    def make(self, rounds=30):
+        system = cruise_control_system()
+        firmware = generate_firmware(system, InstrumentationPlan.none())
+        kernel = DtmKernel(system, firmware)
+        kernel.run(ms(20) * rounds)
+        return system, firmware, kernel, ModelInspector(system, firmware, kernel)
+
+    def test_current_state_reads_target_ram(self):
+        _, _, _, inspector = self.make(rounds=30)
+        assert inspector.current_state("controller", "mode_logic") == "CRUISE"
+
+    def test_machine_variables(self):
+        system = (SystemBuilder("blink").signal("led")
+                  .actor("blinky", period_us=ms(10))
+                  .machine("blink", blinker_machine())
+                  .writes("led", from_="blink.led")
+                  .done().build())
+        firmware = generate_firmware(system, InstrumentationPlan.none())
+        kernel = DtmKernel(system, firmware)
+        kernel.run(ms(10) * 2)  # releases at 0/10/20ms -> three jobs
+        inspector = ModelInspector(system, firmware, kernel)
+        # Third step fires OFF->ON, resetting the phase timer.
+        assert inspector.current_state("blinky", "blink") == "ON"
+        assert inspector.machine_variables("blinky", "blink") == {"t": 0}
+
+    def test_signal_values_use_freshest_view(self):
+        _, _, kernel, inspector = self.make(rounds=30)
+        # 'speed' is produced on node1; its freshest value lives there.
+        assert (inspector.signal_value("speed")
+                == kernel.bus.read("node1", "speed"))
+
+    def test_all_machines_summary(self):
+        _, _, _, inspector = self.make(rounds=10)
+        machines = inspector.all_machines()
+        assert "controller.mode_logic" in machines
+
+    def test_status_report_renders(self):
+        _, _, _, inspector = self.make(rounds=10)
+        report = inspector.status_report()
+        assert "state machines:" in report and "signals:" in report
+        assert "controller.mode_logic" in report
+
+    def test_unknown_signal_rejected(self):
+        _, _, _, inspector = self.make(rounds=2)
+        with pytest.raises(DebuggerError):
+            inspector.signal_value("ghost")
+
+    def test_non_machine_block_rejected(self):
+        _, _, _, inspector = self.make(rounds=2)
+        with pytest.raises(DebuggerError):
+            inspector.current_state("controller", "regulator")
+
+    def test_inspection_does_not_perturb_target(self):
+        system, firmware, kernel, inspector = self.make(rounds=10)
+        cycles_before = kernel.board_of("node0").cpu.cycles
+        inspector.status_report()
+        assert kernel.board_of("node0").cpu.cycles == cycles_before

@@ -1,0 +1,199 @@
+"""Tests for requirement monitors (the bug-detection machinery)."""
+
+from repro.comm.protocol import Command, CommandKind
+from repro.engine.checks import (
+    DwellMonitor,
+    HeartbeatMonitor,
+    InitialStateMonitor,
+    MonitorSuite,
+    RangeMonitor,
+    ResponseMonitor,
+    SequenceMonitor,
+    StateValueMonitor,
+)
+
+S = "state:lights.lamp."
+
+
+def cmd(kind, path, value=0, t=0):
+    return Command(kind, path, value, t_target=t, t_host=t)
+
+
+def enter(state, t):
+    return cmd(CommandKind.STATE_ENTER, f"{S}{state}", 0, t)
+
+
+def sig(path, value, t):
+    return cmd(CommandKind.SIG_UPDATE, path, value, t)
+
+
+class TestSequenceMonitor:
+    def make(self):
+        return SequenceMonitor("seq", S, allowed={
+            f"{S}RED": {f"{S}GREEN"},
+            f"{S}GREEN": {f"{S}YELLOW"},
+            f"{S}YELLOW": {f"{S}RED"},
+        })
+
+    def test_legal_cycle_passes(self):
+        monitor = self.make()
+        for t, state in enumerate(("GREEN", "YELLOW", "RED", "GREEN")):
+            assert monitor.inspect(enter(state, t)) is None
+        assert not monitor.violated
+
+    def test_illegal_order_reported(self):
+        monitor = self.make()
+        monitor.inspect(enter("GREEN", 1))
+        report = monitor.inspect(enter("RED", 2))
+        assert report is not None
+        assert "illegal state order" in report.message
+
+    def test_first_state_seeds_tracking(self):
+        monitor = self.make()
+        assert monitor.inspect(enter("YELLOW", 1)) is None  # seeding only
+
+    def test_other_groups_ignored(self):
+        monitor = self.make()
+        other = cmd(CommandKind.STATE_ENTER, "state:other.sm.X")
+        assert monitor.inspect(other) is None
+
+
+class TestRangeMonitor:
+    def test_in_range_passes(self):
+        monitor = RangeMonitor("r", "signal:light", 0, 2)
+        assert monitor.inspect(sig("signal:light", 2, 1)) is None
+
+    def test_out_of_range_reported(self):
+        monitor = RangeMonitor("r", "signal:light", 0, 2)
+        report = monitor.inspect(sig("signal:light", 5, 1))
+        assert report is not None and "outside" in report.message
+
+    def test_other_signals_ignored(self):
+        monitor = RangeMonitor("r", "signal:light", 0, 2)
+        assert monitor.inspect(sig("signal:btn", 99, 1)) is None
+
+
+class TestResponseMonitor:
+    def make(self, within=100):
+        return ResponseMonitor(
+            "resp",
+            trigger=lambda c: c.path == "signal:btn" and c.value == 1,
+            response=lambda c: c.path == "signal:light" and c.value == 2,
+            within_us=within,
+        )
+
+    def test_timely_response_passes(self):
+        monitor = self.make()
+        monitor.inspect(sig("signal:btn", 1, 0))
+        assert monitor.inspect(sig("signal:light", 2, 50)) is None
+        assert not monitor.violated
+
+    def test_late_response_reported(self):
+        monitor = self.make()
+        monitor.inspect(sig("signal:btn", 1, 0))
+        report = monitor.inspect(sig("signal:light", 1, 500))
+        assert report is not None
+
+    def test_retrigger_after_response(self):
+        monitor = self.make()
+        monitor.inspect(sig("signal:btn", 1, 0))
+        monitor.inspect(sig("signal:light", 2, 10))
+        monitor.inspect(sig("signal:btn", 1, 20))
+        report = monitor.inspect(sig("signal:btn", 0, 500))
+        assert report is not None  # second trigger went unanswered
+
+
+class TestDwellMonitor:
+    def make(self):
+        return DwellMonitor("dwell", f"{S}RED", S, lo_us=300, hi_us=500)
+
+    def test_dwell_in_bounds_passes(self):
+        monitor = self.make()
+        monitor.inspect(enter("RED", 1000))
+        assert monitor.inspect(enter("GREEN", 1400)) is None
+
+    def test_too_short_reported(self):
+        monitor = self.make()
+        monitor.inspect(enter("RED", 1000))
+        assert monitor.inspect(enter("GREEN", 1100)) is not None
+
+    def test_too_long_reported(self):
+        monitor = self.make()
+        monitor.inspect(enter("RED", 1000))
+        assert monitor.inspect(enter("GREEN", 1900)) is not None
+
+    def test_other_states_not_measured(self):
+        monitor = self.make()
+        monitor.inspect(enter("GREEN", 0))
+        assert monitor.inspect(enter("YELLOW", 5000)) is None
+
+
+class TestStateValueMonitor:
+    def make(self):
+        return StateValueMonitor("sv", f"{S}GREEN", "signal:light", 1,
+                                 within_us=100)
+
+    def test_correct_value_passes(self):
+        monitor = self.make()
+        monitor.inspect(enter("GREEN", 0))
+        assert monitor.inspect(sig("signal:light", 1, 10)) is None
+
+    def test_wrong_value_reported(self):
+        monitor = self.make()
+        monitor.inspect(enter("GREEN", 0))
+        report = monitor.inspect(sig("signal:light", 2, 10))
+        assert report is not None
+
+    def test_missing_update_reported_on_timeout(self):
+        monitor = self.make()
+        monitor.inspect(enter("GREEN", 0))
+        report = monitor.inspect(cmd(CommandKind.TASK_START, "actor:x", 0, 500))
+        assert report is not None and "never updated" in report.message
+
+
+class TestHeartbeatMonitor:
+    def make(self):
+        return HeartbeatMonitor(
+            "hb", lambda c: c.kind is CommandKind.STATE_ENTER, every_us=1000)
+
+    def test_regular_beats_pass(self):
+        monitor = self.make()
+        for t in (100, 900, 1800):
+            assert monitor.inspect(enter("RED", t)) is None
+
+    def test_silence_reported_via_other_traffic(self):
+        monitor = self.make()
+        monitor.inspect(enter("RED", 100))
+        report = monitor.inspect(cmd(CommandKind.TASK_START, "actor:x", 0, 2000))
+        assert report is not None and "no matching event" in report.message
+
+    def test_no_report_storm(self):
+        monitor = self.make()
+        monitor.inspect(enter("RED", 0))
+        monitor.inspect(cmd(CommandKind.TASK_START, "actor:x", 0, 2000))
+        assert monitor.inspect(
+            cmd(CommandKind.TASK_START, "actor:x", 0, 2100)) is None
+
+
+class TestInitialStateMonitor:
+    def test_expected_first_state_passes(self):
+        monitor = InitialStateMonitor("init", S, f"{S}GREEN")
+        assert monitor.inspect(enter("GREEN", 10)) is None
+        assert monitor.inspect(enter("RED", 20)) is None  # only first checked
+
+    def test_wrong_first_state_reported(self):
+        monitor = InitialStateMonitor("init", S, f"{S}GREEN")
+        assert monitor.inspect(enter("YELLOW", 10)) is not None
+
+
+class TestMonitorSuite:
+    def test_aggregates_and_orders_reports(self):
+        range_monitor = RangeMonitor("r", "signal:light", 0, 2)
+        seq = SequenceMonitor("s", S, allowed={f"{S}RED": {f"{S}GREEN"}})
+        suite = MonitorSuite([seq, range_monitor])
+        seq.inspect(enter("RED", 5))
+        seq.inspect(enter("YELLOW", 10))             # violation at t=10
+        range_monitor.inspect(sig("signal:light", 9, 3))  # violation at t=3
+        assert suite.any_violation
+        assert suite.first_violation_time() == 3
+        assert [r.t_us for r in suite.reports()] == [3, 10]

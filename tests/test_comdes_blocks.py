@@ -1,0 +1,142 @@
+"""Tests for the function-block library's reference semantics."""
+
+import pytest
+
+from repro.comdes.blocks import (
+    AddFB, CompareFB, ConstantFB, DelayFB, GainFB, IntegratorFB, LimiterFB,
+    MulFB, MuxFB, PiFB, SequenceFB, StateMachineFB, SubFB, ThresholdFB,
+)
+from repro.comdes.examples import blinker_machine
+from repro.errors import ModelError
+
+
+def run_block(block, input_trace):
+    """Drive a block over a list of input dicts; return outputs per step."""
+    state = block.state_vars()
+    outputs = []
+    for inputs in input_trace:
+        out, state = block.behavior(inputs, state)
+        outputs.append(out)
+    return outputs
+
+
+class TestStatelessBlocks:
+    def test_constant(self):
+        assert run_block(ConstantFB("k", 42), [{}]) == [{"y": 42}]
+
+    def test_gain_rational(self):
+        outs = run_block(GainFB("g", num=3, den=2), [{"u": 10}, {"u": -10}])
+        assert [o["y"] for o in outs] == [15, -15]
+
+    def test_gain_zero_denominator_rejected(self):
+        with pytest.raises(ModelError):
+            GainFB("g", num=1, den=0)
+
+    def test_add_sub_mul(self):
+        assert run_block(AddFB("a"), [{"a": 2, "b": 3}])[0]["y"] == 5
+        assert run_block(SubFB("s"), [{"a": 2, "b": 3}])[0]["y"] == -1
+        assert run_block(MulFB("m"), [{"a": 4, "b": 3}])[0]["y"] == 12
+
+    def test_compare_ops(self):
+        assert run_block(CompareFB("c", "lt"), [{"a": 1, "b": 2}])[0]["y"] == 1
+        assert run_block(CompareFB("c", "ge"), [{"a": 1, "b": 2}])[0]["y"] == 0
+
+    def test_compare_unknown_op_rejected(self):
+        with pytest.raises(ModelError):
+            CompareFB("c", "spaceship")
+
+    def test_limiter_clamps(self):
+        outs = run_block(LimiterFB("l", lo=-5, hi=5),
+                         [{"u": -100}, {"u": 3}, {"u": 100}])
+        assert [o["y"] for o in outs] == [-5, 3, 5]
+
+    def test_limiter_bad_range_rejected(self):
+        with pytest.raises(ModelError):
+            LimiterFB("l", lo=5, hi=-5)
+
+    def test_mux_selects(self):
+        outs = run_block(MuxFB("m"), [{"sel": 1, "a": 10, "b": 20},
+                                      {"sel": 0, "a": 10, "b": 20}])
+        assert [o["y"] for o in outs] == [10, 20]
+
+    def test_missing_input_raises(self):
+        with pytest.raises(ModelError):
+            run_block(AddFB("a"), [{"a": 1}])
+
+
+class TestThreshold:
+    def test_basic_threshold(self):
+        outs = run_block(ThresholdFB("t", limit=10),
+                         [{"u": 9}, {"u": 10}, {"u": 11}, {"u": 9}])
+        assert [o["y"] for o in outs] == [0, 1, 1, 0]
+
+    def test_hysteresis_holds_on(self):
+        block = ThresholdFB("t", limit=10, hysteresis=3)
+        # Turns on at 10; must stay on until u < 7.
+        outs = run_block(block, [{"u": 10}, {"u": 8}, {"u": 7}, {"u": 6}])
+        assert [o["y"] for o in outs] == [1, 1, 1, 0]
+
+    def test_negative_hysteresis_rejected(self):
+        with pytest.raises(ModelError):
+            ThresholdFB("t", limit=0, hysteresis=-1)
+
+
+class TestStatefulBlocks:
+    def test_delay_shifts_by_one(self):
+        outs = run_block(DelayFB("z", init=99), [{"u": 1}, {"u": 2}, {"u": 3}])
+        assert [o["y"] for o in outs] == [99, 1, 2]
+
+    def test_sequence_repeats(self):
+        outs = run_block(SequenceFB("s", values=[1, 2], repeat=True), [{}] * 5)
+        assert [o["y"] for o in outs] == [1, 2, 1, 2, 1]
+
+    def test_sequence_holds_last(self):
+        outs = run_block(SequenceFB("s", values=[1, 2], repeat=False), [{}] * 4)
+        assert [o["y"] for o in outs] == [1, 2, 2, 2]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ModelError):
+            SequenceFB("s", values=[])
+
+    def test_integrator_accumulates_and_clamps(self):
+        block = IntegratorFB("i", num=1, den=1, lo=0, hi=10)
+        outs = run_block(block, [{"u": 4}, {"u": 4}, {"u": 4}, {"u": -100}])
+        assert [o["y"] for o in outs] == [4, 8, 10, 0]
+
+    def test_integrator_rational_gain(self):
+        block = IntegratorFB("i", num=1, den=2, lo=-100, hi=100)
+        outs = run_block(block, [{"u": 5}, {"u": 5}])
+        assert [o["y"] for o in outs] == [2, 4]  # 5//2 per step
+
+    def test_pi_proportional_and_integral(self):
+        block = PiFB("pi", kp_num=2, kp_den=1, ki_num=1, ki_den=1, lo=-100, hi=100)
+        outs = run_block(block, [{"e": 3}, {"e": 3}])
+        # step1: acc=3, y=2*3+3=9 ; step2: acc=6, y=6+6=12
+        assert [o["y"] for o in outs] == [9, 12]
+
+    def test_pi_anti_windup_clamps_accumulator(self):
+        block = PiFB("pi", kp_num=0, kp_den=1, ki_num=1, ki_den=1, lo=0, hi=5)
+        outs = run_block(block, [{"e": 100}, {"e": -1}])
+        # acc clamps at 5, then decreases — no windup beyond the clamp.
+        assert [o["y"] for o in outs] == [5, 4]
+
+
+class TestStateMachineBlock:
+    def test_wraps_machine_ports(self):
+        block = StateMachineFB("b", blinker_machine())
+        assert block.inputs == []
+        assert block.outputs == ["led"]
+
+    def test_stepping_matches_machine(self):
+        machine = blinker_machine(half_period_steps=2)
+        block = StateMachineFB("b", machine)
+        block_leds = [o["led"] for o in run_block(block, [{}] * 6)]
+        machine_leds = [env["led"] for _, env in machine.run([{}] * 6)]
+        assert block_leds == machine_leds
+
+    def test_outputs_persist_when_no_transition_writes(self):
+        machine = blinker_machine(half_period_steps=3)
+        block = StateMachineFB("b", machine)
+        leds = [o["led"] for o in run_block(block, [{}] * 7)]
+        # led turns on at step 3 and holds until step 6
+        assert leds == [0, 0, 1, 1, 1, 0, 0]

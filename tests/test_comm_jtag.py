@@ -1,0 +1,103 @@
+"""Tests for the IEEE 1149.1 TAP controller and the host probe."""
+
+import pytest
+
+from repro.comm.jtag import Instruction, JtagProbe, TapController, TapState
+from repro.comm.usb import UsbTransport
+from repro.errors import JtagError
+from repro.target.board import BOARD_IDCODE, Board, DebugPort
+from repro.target.memory import RAM_BASE
+
+
+def make_probe(board=None, transport=None):
+    board = board if board is not None else Board()
+    tap = TapController(DebugPort(board))
+    return board, JtagProbe(tap, transport=transport)
+
+
+class TestTapController:
+    def test_powers_up_in_test_logic_reset(self):
+        tap = TapController(DebugPort(Board()))
+        assert tap.state is TapState.TEST_LOGIC_RESET
+
+    def test_canonical_walk_to_shift_dr(self):
+        tap = TapController(DebugPort(Board()))
+        for tms in (0, 1, 0, 0):  # RTI, Select-DR, Capture-DR, Shift-DR
+            tap.drive(tms)
+        assert tap.state is TapState.SHIFT_DR
+
+    def test_reset_restores_idcode_instruction(self):
+        tap = TapController(DebugPort(Board()))
+        tap.ir = int(Instruction.MEMREAD)
+        for _ in range(5):
+            tap.drive(1)
+        assert tap.ir == int(Instruction.IDCODE)
+
+    def test_invalid_bit_values_rejected(self):
+        tap = TapController(DebugPort(Board()))
+        with pytest.raises(JtagError):
+            tap.drive(2)
+
+    def test_tck_counted(self):
+        tap = TapController(DebugPort(Board()))
+        for _ in range(7):
+            tap.drive(0)
+        assert tap.tck_count == 7
+
+
+class TestProbeOperations:
+    def test_read_idcode(self):
+        _, probe = make_probe()
+        idcode, cost = probe.read_idcode_timed()
+        assert idcode == BOARD_IDCODE
+        assert cost > 0
+
+    def test_read_word_matches_memory(self):
+        board, probe = make_probe()
+        board.memory.poke(RAM_BASE + 5, 0xDEAD)
+        assert probe.read_word(RAM_BASE + 5) == 0xDEAD
+
+    def test_read_word_sign_extends(self):
+        board, probe = make_probe()
+        board.memory.poke(RAM_BASE, -7)
+        assert probe.read_word(RAM_BASE) == -7
+
+    def test_write_word_roundtrip(self):
+        board, probe = make_probe()
+        probe.write_word_timed(RAM_BASE + 2, 4242)
+        assert board.memory.peek(RAM_BASE + 2) == 4242
+
+    def test_reads_cost_zero_target_cycles(self):
+        board, probe = make_probe()
+        before = board.cpu.cycles
+        probe.read_word(RAM_BASE)
+        assert board.cpu.cycles == before
+        assert board.memory.reads == 0  # backdoor, not a CPU access
+
+    def test_scan_cost_scales_with_tck(self):
+        _, slow = make_probe()
+        slow.tck_hz = 1_000_000
+        _, v_slow_cost = slow.read_word_timed(RAM_BASE)
+        _, fast = make_probe()
+        fast.tck_hz = 10_000_000
+        _, v_fast_cost = fast.read_word_timed(RAM_BASE)
+        assert v_slow_cost > v_fast_cost
+
+    def test_transport_charged_when_present(self):
+        _, bare = make_probe()
+        _, bare_cost = bare.read_word_timed(RAM_BASE)
+        _, cabled = make_probe(transport=UsbTransport(latency_us=500))
+        _, cabled_cost = cabled.read_word_timed(RAM_BASE)
+        assert cabled_cost >= bare_cost + 500
+
+    def test_halt_resume_through_tap(self):
+        board, probe = make_probe()
+        probe.halt_target()
+        assert board.stalled
+        probe.resume_target()
+        assert not board.stalled
+
+    def test_invalid_tck_rejected(self):
+        tap = TapController(DebugPort(Board()))
+        with pytest.raises(JtagError):
+            JtagProbe(tap, tck_hz=0)

@@ -1,0 +1,242 @@
+"""Tests for the reflective metamodeling framework."""
+
+import pytest
+
+from repro.errors import MetamodelError, ModelError, ValidationError
+from repro.meta.metamodel import AttributeKind, MetaModel
+from repro.meta.model import Model
+from repro.meta.registry import MetamodelRegistry
+from repro.meta.serialize import model_from_dict, model_to_dict
+from repro.meta.validate import validate_model, validation_problems
+
+
+def library_metamodel() -> MetaModel:
+    """A tiny metamodel used across these tests."""
+    mm = MetaModel("library")
+    named = mm.define("Named", abstract=True)
+    named.attribute("name", AttributeKind.STR, required=True)
+    lib = mm.define("Library", supertypes=["Named"])
+    lib.reference("books", "Book", containment=True, many=True)
+    lib.reference("featured", "Book")  # cross reference
+    book = mm.define("Book", supertypes=["Named"])
+    book.attribute("pages", AttributeKind.INT, default=100)
+    book.attribute("genre", AttributeKind.ENUM,
+                   enum_values=("novel", "reference"), default="novel")
+    mm.check()
+    return mm
+
+
+class TestMetamodelDefinition:
+    def test_duplicate_class_rejected(self):
+        mm = MetaModel("m")
+        mm.define("A")
+        with pytest.raises(MetamodelError):
+            mm.define("A")
+
+    def test_unknown_supertype_caught_by_check(self):
+        mm = MetaModel("m")
+        mm.define("A", supertypes=["Missing"])
+        with pytest.raises(MetamodelError):
+            mm.check()
+
+    def test_inheritance_cycle_caught(self):
+        mm = MetaModel("m")
+        mm.define("A", supertypes=["B"])
+        mm.define("B", supertypes=["A"])
+        with pytest.raises(MetamodelError):
+            mm.check()
+
+    def test_unknown_reference_target_caught(self):
+        mm = MetaModel("m")
+        mm.define("A").reference("r", "Nowhere")
+        with pytest.raises(MetamodelError):
+            mm.check()
+
+    def test_inherited_features_visible(self):
+        mm = library_metamodel()
+        book = mm.metaclass("Book")
+        assert "name" in book.all_attributes()
+        assert book.is_subtype_of("Named")
+        assert not book.is_subtype_of("Library")
+
+    def test_enum_attribute_requires_values(self):
+        mm = MetaModel("m")
+        with pytest.raises(MetamodelError):
+            mm.define("A").attribute("e", AttributeKind.ENUM)
+
+    def test_bad_default_rejected(self):
+        mm = MetaModel("m")
+        with pytest.raises(MetamodelError):
+            mm.define("A").attribute("n", AttributeKind.INT, default="oops")
+
+
+class TestModelObjects:
+    def test_create_and_attribute_roundtrip(self):
+        model = Model(library_metamodel())
+        book = model.create("Book", name="Dune", pages=412)
+        assert book.get("name") == "Dune"
+        assert book.get("pages") == 412
+
+    def test_default_applies_when_unset(self):
+        model = Model(library_metamodel())
+        book = model.create("Book", name="X")
+        assert book.get("pages") == 100
+
+    def test_abstract_class_not_instantiable(self):
+        model = Model(library_metamodel())
+        with pytest.raises(ModelError):
+            model.create("Named", name="nope")
+
+    def test_wrong_attribute_type_rejected(self):
+        model = Model(library_metamodel())
+        book = model.create("Book", name="X")
+        with pytest.raises(ModelError):
+            book.set("pages", "many")
+
+    def test_bool_is_not_an_int(self):
+        model = Model(library_metamodel())
+        book = model.create("Book", name="X")
+        with pytest.raises(ModelError):
+            book.set("pages", True)
+
+    def test_enum_value_checked(self):
+        model = Model(library_metamodel())
+        book = model.create("Book", name="X")
+        book.set("genre", "reference")
+        with pytest.raises(ModelError):
+            book.set("genre", "poetry")
+
+    def test_unknown_attribute_rejected(self):
+        model = Model(library_metamodel())
+        book = model.create("Book", name="X")
+        with pytest.raises(ModelError):
+            book.get("isbn")
+
+    def test_containment_sets_container(self):
+        model = Model(library_metamodel())
+        lib = model.create("Library", name="City")
+        book = model.create("Book", name="Dune")
+        lib.add_ref("books", book)
+        assert book.container is lib
+        assert book in lib.children()
+
+    def test_object_cannot_be_contained_twice(self):
+        model = Model(library_metamodel())
+        a = model.create("Library", name="A")
+        b = model.create("Library", name="B")
+        book = model.create("Book", name="Dune")
+        a.add_ref("books", book)
+        with pytest.raises(ModelError):
+            b.add_ref("books", book)
+
+    def test_single_reference_set_and_replace(self):
+        model = Model(library_metamodel())
+        lib = model.create("Library", name="City")
+        b1 = model.create("Book", name="One")
+        b2 = model.create("Book", name="Two")
+        lib.set_ref("featured", b1)
+        lib.set_ref("featured", b2)
+        assert lib.ref("featured") is b2
+
+    def test_reference_type_checked(self):
+        model = Model(library_metamodel())
+        lib = model.create("Library", name="City")
+        other = model.create("Library", name="Other")
+        with pytest.raises(ModelError):
+            lib.add_ref("books", other)
+
+    def test_remove_ref_clears_container(self):
+        model = Model(library_metamodel())
+        lib = model.create("Library", name="City")
+        book = model.create("Book", name="Dune")
+        lib.add_ref("books", book)
+        lib.remove_ref("books", book)
+        assert book.container is None
+
+    def test_iter_tree_preorder(self):
+        model = Model(library_metamodel())
+        lib = model.create("Library", name="City")
+        model.add_root(lib)
+        for title in ("A", "B"):
+            lib.add_ref("books", model.create("Book", name=title))
+        names = [obj.label for obj in lib.iter_tree()]
+        assert names == ["City", "A", "B"]
+
+    def test_objects_of_honours_subtyping(self):
+        model = Model(library_metamodel())
+        lib = model.create("Library", name="City")
+        model.add_root(lib)
+        lib.add_ref("books", model.create("Book", name="A"))
+        assert len(model.objects_of("Named")) == 2
+        assert len(model.objects_of("Book")) == 1
+
+
+class TestValidation:
+    def test_missing_required_attribute_reported(self):
+        model = Model(library_metamodel())
+        lib = model.create("Library")
+        model.add_root(lib)
+        problems = validation_problems(model)
+        assert any("name" in p for p in problems)
+
+    def test_valid_model_passes(self):
+        model = Model(library_metamodel())
+        lib = model.create("Library", name="City")
+        model.add_root(lib)
+        validate_model(model)  # must not raise
+
+    def test_validation_error_carries_problems(self):
+        model = Model(library_metamodel())
+        model.add_root(model.create("Library"))
+        with pytest.raises(ValidationError) as excinfo:
+            validate_model(model)
+        assert excinfo.value.problems
+
+
+class TestSerialization:
+    def build(self):
+        model = Model(library_metamodel(), name="demo")
+        lib = model.create("Library", name="City")
+        model.add_root(lib)
+        b1 = model.create("Book", name="One", pages=7)
+        b2 = model.create("Book", name="Two", genre="reference")
+        lib.add_ref("books", b1)
+        lib.add_ref("books", b2)
+        lib.set_ref("featured", b2)
+        return model
+
+    def test_roundtrip_preserves_structure(self):
+        original = self.build()
+        restored = model_from_dict(model_to_dict(original), library_metamodel())
+        assert model_to_dict(restored) == model_to_dict(original)
+
+    def test_roundtrip_preserves_cross_reference(self):
+        restored = model_from_dict(model_to_dict(self.build()), library_metamodel())
+        lib = restored.roots[0]
+        assert lib.ref("featured").get("name") == "Two"
+
+    def test_wrong_metamodel_rejected(self):
+        data = model_to_dict(self.build())
+        other = MetaModel("other")
+        other.define("X")
+        with pytest.raises(ModelError):
+            model_from_dict(data, other)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = MetamodelRegistry()
+        mm = library_metamodel()
+        registry.register(mm)
+        assert registry.get("library") is mm
+        assert "library" in registry
+
+    def test_duplicate_registration_rejected(self):
+        registry = MetamodelRegistry()
+        registry.register(library_metamodel())
+        with pytest.raises(MetamodelError):
+            registry.register(library_metamodel())
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(MetamodelError):
+            MetamodelRegistry().get("nope")

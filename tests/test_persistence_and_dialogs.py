@@ -1,0 +1,148 @@
+"""Tests for GDM/trace persistence, the command-setup dialog, line noise."""
+
+import pytest
+
+from repro.comdes.examples import traffic_light_system
+from repro.comdes.reflect import system_to_model
+from repro.comm.protocol import Command, CommandKind
+from repro.comm.rs232 import Rs232Link
+from repro.engine.session import DebugSession
+from repro.engine.trace import ExecutionTrace
+from repro.errors import CommError, DebuggerError
+from repro.gdm.abstraction import AbstractionEngine
+from repro.gdm.command_setup import CommandSetupDialog
+from repro.gdm.mapping import default_comdes_table
+from repro.gdm.store import (
+    gdm_from_json, gdm_to_json, load_gdm, save_gdm,
+)
+from repro.util.timeunits import ms
+
+
+def build_gdm():
+    model = system_to_model(traffic_light_system())
+    return AbstractionEngine(default_comdes_table(model.metamodel)).build(model)
+
+
+class TestGdmPersistence:
+    def test_json_roundtrip_preserves_structure(self):
+        gdm = build_gdm()
+        restored = gdm_from_json(gdm_to_json(gdm))
+        assert len(restored.elements) == len(gdm.elements)
+        assert len(restored.links) == len(gdm.links)
+        assert len(restored.bindings) == len(gdm.bindings)
+
+    def test_roundtrip_preserves_paths_and_geometry(self):
+        gdm = build_gdm()
+        restored = gdm_from_json(gdm_to_json(gdm))
+        for element in gdm.elements.values():
+            twin = restored.element_by_path(element.source_path)
+            assert twin is not None
+            assert twin.rect == element.rect
+            assert twin.pattern.kind is element.pattern.kind
+
+    def test_restored_gdm_animates(self):
+        restored = gdm_from_json(gdm_to_json(build_gdm()))
+        command = Command(CommandKind.STATE_ENTER,
+                          "state:lights.lamp.GREEN", 1)
+        matched = restored.bindings_for(command)
+        assert matched
+        from repro.gdm.reactions import apply_reaction
+        apply_reaction(restored, matched[0], command)
+        assert restored.element_by_path("state:lights.lamp.GREEN").highlighted
+
+    def test_file_roundtrip(self, tmp_path):
+        gdm = build_gdm()
+        path = str(tmp_path / "model.gdm.json")
+        save_gdm(gdm, path)
+        restored = load_gdm(path)
+        assert gdm_to_json(restored) == gdm_to_json(gdm)
+
+
+class TestTracePersistence:
+    def test_trace_file_roundtrip(self, tmp_path):
+        session = DebugSession(traffic_light_system(), channel_kind="active")
+        session.setup().run(ms(100) * 15)
+        path = str(tmp_path / "run.trace.json")
+        session.trace.save(path)
+        restored = ExecutionTrace.load(path)
+        assert restored.to_dicts() == session.trace.to_dicts()
+
+
+class TestCommandSetupDialog:
+    def test_lists_sources_and_reactions(self):
+        dialog = CommandSetupDialog(build_gdm())
+        sources = dict(dialog.command_sources())
+        assert sources["state:lights.lamp.RED"] == "STATE_ENTER"
+        assert sources["signal:light"] == "SIG_UPDATE"
+        assert "HIGHLIGHT" in dialog.reaction_options()
+
+    def test_add_and_delete_bindings(self):
+        gdm = build_gdm()
+        dialog = CommandSetupDialog(gdm)
+        before = len(dialog.bindings())
+        dialog.add(CommandKind.SIG_UPDATE, "signal:btn", "PULSE")
+        assert len(dialog.bindings()) == before + 1
+        dialog.delete(before)
+        assert len(dialog.bindings()) == before
+
+    def test_unknown_reaction_rejected(self):
+        dialog = CommandSetupDialog(build_gdm())
+        with pytest.raises(DebuggerError):
+            dialog.add(CommandKind.USER, "signal:btn", "EXPLODE")
+
+    def test_delete_bounds_checked(self):
+        dialog = CommandSetupDialog(build_gdm())
+        with pytest.raises(DebuggerError):
+            dialog.delete(999)
+
+    def test_finish_requires_bindings_and_is_single_shot(self):
+        gdm = build_gdm()
+        dialog = CommandSetupDialog(gdm)
+        dialog.finish()
+        with pytest.raises(DebuggerError):
+            dialog.add(CommandKind.USER, "signal:btn", "PULSE")
+
+    def test_render_shows_all_three_panes(self):
+        dialog = CommandSetupDialog(build_gdm())
+        art = dialog.render_dialog()
+        assert "Command sources" in art
+        assert "Existing bindings" in art
+        assert "Reaction types" in art
+
+
+class TestLineNoise:
+    def test_corrupt_flips_bits_at_configured_rate(self):
+        link = Rs232Link(byte_error_rate=0.5, seed=42)
+        data = bytes(100)
+        out = link.corrupt(data)
+        assert out != data
+        assert 20 <= link.bytes_corrupted <= 80  # ~50 expected
+
+    def test_zero_rate_is_identity(self):
+        link = Rs232Link()
+        data = b"\x01\x02\x03"
+        assert link.corrupt(data) == data
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(CommError):
+            Rs232Link(byte_error_rate=1.5)
+
+    def test_noisy_session_drops_frames_but_survives(self):
+        session = DebugSession(traffic_light_system(), channel_kind="active")
+        # Replace the node's link with a noisy one before any traffic.
+        session.setup()
+        channel = session.channel.children[0]
+        channel.link = Rs232Link(byte_error_rate=0.05, seed=7)
+        session.run(ms(100) * 40)
+        assert channel.decoder.checksum_errors > 0
+        # Lossy but alive: fewer commands than frames, engine still WAITING.
+        assert channel.commands_delivered < channel.frames_sent
+        assert session.engine.state.name == "WAITING"
+        assert len(session.trace) > 0
+
+    def test_clean_session_loses_nothing(self):
+        session = DebugSession(traffic_light_system(), channel_kind="active")
+        session.setup().run(ms(100) * 40)
+        channel = session.channel.children[0]
+        assert channel.decoder.checksum_errors == 0
+        assert channel.commands_delivered == channel.frames_sent

@@ -1,0 +1,76 @@
+"""More property-based tests: layouts, persistence, builder round-trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.comdes.reflect import system_to_model
+from repro.engine.replay import ReplayPlayer
+from repro.engine.trace import ExecutionTrace
+from repro.experiments.workloads import chain_system
+from repro.gdm.abstraction import AbstractionEngine
+from repro.gdm.mapping import default_comdes_table
+from repro.gdm.store import gdm_from_json, gdm_to_json
+from repro.render.layout import (
+    assert_no_overlap, circular_layout, grid_layout, layered_layout,
+)
+
+
+class TestLayoutProperties:
+    @given(n=st.integers(0, 60), cell_w=st.integers(2, 24),
+           cell_h=st.integers(2, 10), gap=st.integers(0, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_grid_never_overlaps(self, n, cell_w, cell_h, gap):
+        placement = grid_layout([f"n{i}" for i in range(n)],
+                                cell_w=cell_w, cell_h=cell_h, gap=gap)
+        assert_no_overlap(placement)
+        assert len(placement) == n
+
+    @given(n=st.integers(0, 40), cell_w=st.integers(4, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_circle_never_overlaps(self, n, cell_w):
+        placement = circular_layout([f"s{i}" for i in range(n)],
+                                    cell_w=cell_w)
+        assert_no_overlap(placement)
+
+    @given(n=st.integers(1, 20), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_layered_dag_respects_edge_direction(self, n, seed):
+        import random
+        rng = random.Random(seed)
+        ids = [f"v{i}" for i in range(n)]
+        # Random forward edges only => a DAG by construction.
+        edges = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.2:
+                    edges.append((ids[i], ids[j]))
+        placement = layered_layout(ids, edges)
+        assert_no_overlap(placement)
+        for src, dst in edges:
+            assert placement[src].x < placement[dst].x
+
+
+class TestPersistenceProperties:
+    @given(n_states=st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_gdm_json_roundtrip_any_size(self, n_states):
+        model = system_to_model(chain_system(n_states))
+        gdm = AbstractionEngine(default_comdes_table(model.metamodel)).build(model)
+        document = gdm_to_json(gdm)
+        restored = gdm_from_json(document)
+        assert gdm_to_json(restored) == document
+
+    @given(n_states=st.integers(2, 10), rounds=st.integers(1, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_replay_of_serialized_trace_matches_live(self, n_states, rounds):
+        from repro.engine.session import DebugSession
+        from repro.util.timeunits import ms
+        session = DebugSession(chain_system(n_states, period_us=ms(2)),
+                               channel_kind="active")
+        session.setup().run(ms(2) * rounds)
+        live = sorted(e.source_path for e in session.gdm.elements.values()
+                      if e.highlighted)
+        restored = ExecutionTrace.from_dicts(session.trace.to_dicts())
+        player = ReplayPlayer(restored, session.gdm)
+        player.start()
+        player.run_to_end()
+        assert player.highlighted_paths() == live

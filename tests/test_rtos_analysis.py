@@ -1,0 +1,106 @@
+"""Tests for analytic RTA, cross-checked against the simulated scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulerError
+from repro.rtos.analysis import AnalyzedTask, analyze, response_time, utilization
+from repro.rtos.scheduler import NodeScheduler
+from repro.rtos.task import ActiveJob
+from repro.sim.kernel import Simulator
+
+
+class TestRecurrence:
+    def test_highest_priority_task_runs_alone(self):
+        task = AnalyzedTask("hp", period_us=100, wcet_us=30, priority=0)
+        assert response_time(task, []) == 30
+
+    def test_textbook_example(self):
+        # Classic: T=(7,12,20), C=(3,3,5) -> R=(3,6,20).
+        t1 = AnalyzedTask("t1", 7, 3, 0)
+        t2 = AnalyzedTask("t2", 12, 3, 1)
+        t3 = AnalyzedTask("t3", 20, 5, 2)
+        results = analyze([t1, t2, t3])
+        assert [r.response_us for r in results] == [3, 6, 20]
+        assert all(r.schedulable for r in results)
+
+    def test_overloaded_task_misses_deadline(self):
+        # Utilization 1.1: the victim's first job still finishes (R = 200,
+        # the fixed point of 20 + ceil(R/10)*9) but blows its deadline.
+        t1 = AnalyzedTask("hog", 10, 9, 0)
+        t2 = AnalyzedTask("victim", 100, 20, 1)
+        results = analyze([t1, t2])
+        assert results[1].response_us == 200
+        assert not results[1].schedulable
+
+    def test_truly_unbounded_reported_none(self):
+        # The hog alone saturates the CPU: the victim never completes.
+        t1 = AnalyzedTask("hog", 10, 10, 0)
+        t2 = AnalyzedTask("victim", 100, 20, 1)
+        results = analyze([t1, t2])
+        assert results[1].response_us is None
+        assert not results[1].schedulable
+
+    def test_deadline_checked(self):
+        t1 = AnalyzedTask("a", 10, 4, 0)
+        t2 = AnalyzedTask("b", 20, 7, 1, deadline_us=10)
+        results = analyze([t1, t2])
+        # R(b) = 7 + ceil(R/10)*4 -> 15 > D=10
+        assert results[1].response_us == 15
+        assert not results[1].schedulable
+
+    def test_utilization(self):
+        tasks = [AnalyzedTask("a", 10, 5, 0), AnalyzedTask("b", 20, 5, 1)]
+        assert utilization(tasks) == pytest.approx(0.75)
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(SchedulerError):
+            response_time(AnalyzedTask("z", 10, 0, 0), [])
+
+
+def simulate_critical_instant(tasks, hyperperiods=1):
+    """Release all tasks synchronously; measure per-task max response."""
+    sim = Simulator()
+    scheduler = NodeScheduler(sim, "n")
+    worst = {t.name: 0 for t in tasks}
+    horizon = max(t.period_us for t in tasks) * 3 * hyperperiods
+
+    def release(task):
+        job = ActiveJob(
+            task.name, task.priority, sim.now, sim.now + task.period_us,
+            task.wcet_us,
+            on_complete=lambda done, t=task, rel=sim.now: worst.__setitem__(
+                t.name, max(worst[t.name], done - rel)),
+        )
+        scheduler.release(job)
+
+    for task in tasks:
+        sim.every(task.period_us, release, task, start=0)
+    sim.run_until(horizon)
+    return worst
+
+
+class TestSimulationAgreesWithAnalysis:
+    def test_measured_equals_analytic_on_textbook_set(self):
+        tasks = [AnalyzedTask("t1", 700, 300, 0),
+                 AnalyzedTask("t2", 1200, 300, 1),
+                 AnalyzedTask("t3", 2000, 500, 2)]
+        analytic = {r.task.name: r.response_us for r in analyze(tasks)}
+        measured = simulate_critical_instant(tasks)
+        # Synchronous release IS the critical instant: bounds are tight.
+        assert measured == analytic
+
+    @given(wcets=st.tuples(st.integers(1, 30), st.integers(1, 30),
+                           st.integers(1, 30)))
+    @settings(max_examples=40, deadline=None)
+    def test_measured_never_exceeds_analytic(self, wcets):
+        periods = (100, 170, 290)
+        tasks = [AnalyzedTask(f"t{i}", periods[i], wcets[i], i)
+                 for i in range(3)]
+        results = analyze(tasks)
+        if not all(r.schedulable for r in results):
+            return  # unbounded sets are not comparable
+        analytic = {r.task.name: r.response_us for r in results}
+        measured = simulate_critical_instant(tasks)
+        for name in analytic:
+            assert measured[name] <= analytic[name]

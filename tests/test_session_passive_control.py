@@ -1,0 +1,52 @@
+"""Target control through the passive channel: breakpoints via JTAG HALT."""
+
+from repro.comdes.examples import blinker_system, traffic_light_system
+from repro.engine.breakpoints import StateEntryBreakpoint
+from repro.engine.engine import EngineState
+from repro.engine.session import DebugSession
+from repro.util.timeunits import ms
+
+
+class TestPassiveBreakpoints:
+    def test_breakpoint_halts_target_through_tap(self):
+        session = DebugSession(traffic_light_system(), channel_kind="passive",
+                               poll_period_us=500)
+        session.setup()
+        session.engine.breakpoints.add(
+            StateEntryBreakpoint("state:lights.lamp.GREEN"))
+        session.run(ms(100) * 20)
+        assert session.engine.state is EngineState.PAUSED
+        # The halt travelled through the TAP's HALT instruction.
+        assert session.kernel.board_of("node0").stalled
+        skipped_before = session.kernel.jobs_skipped
+        session.run_for(ms(100) * 5)
+        assert session.kernel.jobs_skipped > skipped_before
+
+    def test_resume_through_tap_restarts_jobs(self):
+        session = DebugSession(traffic_light_system(), channel_kind="passive",
+                               poll_period_us=500)
+        session.setup()
+        session.engine.breakpoints.add(
+            StateEntryBreakpoint("state:lights.lamp.GREEN"))
+        session.run(ms(100) * 20)
+        assert session.engine.state is EngineState.PAUSED
+        session.engine.breakpoints.all()[0].enabled = False
+        session.stepper.resume()
+        assert not session.kernel.board_of("node0").stalled
+        events_before = len(session.trace)
+        session.run_for(ms(100) * 20)
+        assert len(session.trace) > events_before
+
+    def test_paused_target_freezes_watched_values(self):
+        session = DebugSession(blinker_system(), channel_kind="passive",
+                               poll_period_us=500)
+        session.setup()
+        session.engine.breakpoints.add(
+            StateEntryBreakpoint("state:blinky.blink.ON"))
+        session.run(ms(10) * 20)
+        assert session.engine.state is EngineState.PAUSED
+        board = session.kernel.board_of("node0")
+        frozen = board.symbol_value("blinky.blink.$_state")
+        session.run_for(ms(10) * 10)
+        # No jobs execute while stalled; the state variable cannot move.
+        assert board.symbol_value("blinky.blink.$_state") == frozen

@@ -1,0 +1,91 @@
+"""Tests for the event bus and the ASCII text grid."""
+
+import pytest
+
+from repro.util.events import EventBus
+from repro.util.textgrid import TextGrid
+
+
+class TestEventBus:
+    def test_publish_reaches_subscriber(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("cmd", lambda **kw: received.append(kw))
+        count = bus.publish("cmd", value=7)
+        assert count == 1
+        assert received == [{"value": 7}]
+
+    def test_publish_without_subscribers_is_noop(self):
+        bus = EventBus()
+        assert bus.publish("nothing") == 0
+
+    def test_handlers_called_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("t", lambda **kw: order.append("first"))
+        bus.subscribe("t", lambda **kw: order.append("second"))
+        bus.publish("t")
+        assert order == ["first", "second"]
+
+    def test_unsubscribe_removes_handler(self):
+        bus = EventBus()
+        hits = []
+        handler = lambda **kw: hits.append(1)
+        bus.subscribe("t", handler)
+        bus.unsubscribe("t", handler)
+        bus.publish("t")
+        assert hits == []
+
+    def test_unsubscribe_unknown_handler_raises(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.unsubscribe("t", lambda: None)
+
+    def test_published_count_tracks_all_topics(self):
+        bus = EventBus()
+        bus.publish("a")
+        bus.publish("b")
+        assert bus.published_count == 2
+
+
+class TestTextGrid:
+    def test_put_and_get(self):
+        grid = TextGrid(4, 3)
+        grid.put(1, 2, "X")
+        assert grid.get(1, 2) == "X"
+
+    def test_out_of_bounds_put_is_clipped(self):
+        grid = TextGrid(2, 2)
+        grid.put(5, 5, "X")  # silently ignored
+        assert "X" not in grid.render()
+
+    def test_out_of_bounds_get_raises(self):
+        grid = TextGrid(2, 2)
+        with pytest.raises(IndexError):
+            grid.get(2, 0)
+
+    def test_text_is_written_horizontally(self):
+        grid = TextGrid(10, 1)
+        grid.text(2, 0, "abc")
+        assert grid.render() == "  abc"
+
+    def test_box_has_corners_and_label(self):
+        grid = TextGrid(12, 5)
+        grid.box(0, 0, 10, 4, label="RED")
+        out = grid.render()
+        assert out.splitlines()[0].startswith("+")
+        assert "RED" in out
+
+    def test_box_too_small_raises(self):
+        grid = TextGrid(5, 5)
+        with pytest.raises(ValueError):
+            grid.box(0, 0, 1, 1)
+
+    def test_zero_size_grid_raises(self):
+        with pytest.raises(ValueError):
+            TextGrid(0, 5)
+
+    def test_render_strips_trailing_spaces(self):
+        grid = TextGrid(8, 2)
+        grid.put(0, 0, "a")
+        assert grid.render() == "a\n"

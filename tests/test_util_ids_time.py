@@ -1,0 +1,78 @@
+"""Tests for id generation, time units and 32-bit integer math."""
+
+import pytest
+
+from repro.util.ids import IdGenerator
+from repro.util.intmath import INT_MAX, INT_MIN, sdiv, smod, wrap32
+from repro.util.timeunits import MS, SEC, format_us, ms, sec, us
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("state") == "state#1"
+        assert gen.next("state") == "state#2"
+        assert gen.next("actor") == "actor#1"
+
+    def test_peek_counts_issued(self):
+        gen = IdGenerator()
+        assert gen.peek("x") == 0
+        gen.next("x")
+        gen.next("x")
+        assert gen.peek("x") == 2
+
+    def test_reset_forgets(self):
+        gen = IdGenerator()
+        gen.next("x")
+        gen.reset()
+        assert gen.next("x") == "x#1"
+
+
+class TestTimeUnits:
+    def test_conversions(self):
+        assert ms(10) == 10 * MS
+        assert sec(2) == 2 * SEC
+        assert us(5) == 5
+
+    def test_fractional_conversion_rounds(self):
+        assert ms(1.5) == 1500
+        assert sec(0.25) == 250_000
+
+    def test_format_picks_largest_exact_unit(self):
+        assert format_us(42) == "42us"
+        assert format_us(1500) == "1.5ms"
+        assert format_us(3 * SEC) == "3s"
+        assert format_us(2_500_000) == "2.5s"
+
+
+class TestIntMath:
+    def test_wrap32_identity_in_range(self):
+        assert wrap32(12345) == 12345
+        assert wrap32(-12345) == -12345
+
+    def test_wrap32_wraps_overflow(self):
+        assert wrap32(INT_MAX + 1) == INT_MIN
+        assert wrap32(INT_MIN - 1) == INT_MAX
+        assert wrap32(1 << 32) == 0
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert sdiv(7, 2) == 3
+        assert sdiv(-7, 2) == -3      # Python // would give -4
+        assert sdiv(7, -2) == -3
+        assert sdiv(-7, -2) == 3
+
+    def test_smod_sign_follows_dividend(self):
+        assert smod(7, 2) == 1
+        assert smod(-7, 2) == -1      # Python % would give 1
+        assert smod(7, -2) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            sdiv(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            smod(1, 0)
+
+    def test_div_mod_consistency(self):
+        for a in (-17, -5, 0, 3, 19):
+            for b in (-7, -2, 1, 4):
+                assert sdiv(a, b) * b + smod(a, b) == a
