@@ -1,0 +1,95 @@
+"""Sustained interpreter throughput on a tight synthetic loop.
+
+Measures instructions/second of ``Cpu.run``'s fast path on a counting loop
+whose opcode mix (load/store, immediate, ALU, compare, branch) resembles
+generated firmware. Writes ``BENCH_interp.json`` next to this file so the
+perf trajectory of the hot loop is tracked across PRs.
+
+Usage::
+
+    python benchmarks/perf_interp.py           # full run (~4M instructions/rep)
+    python benchmarks/perf_interp.py --quick   # CI smoke (~400k instructions)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.target.assembler import Assembler
+from repro.target.cpu import Cpu, StopReason
+from repro.target.memory import RAM_BASE, MemoryMap
+
+#: loop iterations per rep; 8 instructions each
+FULL_ITERS = 500_000
+QUICK_ITERS = 50_000
+REPS = 5  # best-of: rides out scheduler noise on short reps
+
+
+def counting_loop(iterations: int):
+    """``for i in range(iterations): m[0] = i`` as stack code."""
+    counter = RAM_BASE
+    asm = Assembler()
+    asm.label("top")
+    asm.emit("LOAD", counter)
+    asm.emit("PUSH", 1)
+    asm.emit("ADD")
+    asm.emit("STORE", counter)
+    asm.emit("LOAD", counter)
+    asm.emit("PUSH", iterations)
+    asm.emit("LT")
+    asm.emit_jump("JNZ", "top")
+    asm.emit("HALT")
+    return asm.assemble()
+
+
+def run_once(iterations: int):
+    memory = MemoryMap(16)
+    cpu = Cpu(memory)
+    cpu.load(counting_loop(iterations))
+    cpu.reset_task(0)
+    start = time.perf_counter()
+    result = cpu.run(max_instructions=10 * iterations)
+    wall_s = time.perf_counter() - start
+    assert result.reason is StopReason.HALTED, result
+    assert memory.peek(RAM_BASE) == iterations
+    return result, wall_s
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    iterations = QUICK_ITERS if quick else FULL_ITERS
+    run_once(QUICK_ITERS)  # warm up caches and the allocator
+
+    best = None
+    for _ in range(REPS):
+        result, wall_s = run_once(iterations)
+        rate = result.instructions / wall_s
+        if best is None or rate > best["instr_per_sec"]:
+            best = {
+                "instr_per_sec": round(rate),
+                "cycles": result.cycles,
+                "wall_s": round(wall_s, 6),
+                "instructions": result.instructions,
+                "quick": quick,
+            }
+
+    # quick (CI smoke) runs get their own file so they never clobber the
+    # committed full-run scoreboard
+    name = "BENCH_interp_quick.json" if quick else "BENCH_interp.json"
+    out = os.path.join(os.path.dirname(os.path.abspath(__file__)), name)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(best, handle, indent=2)
+        handle.write("\n")
+    print(f"{best['instr_per_sec']:,} instr/sec "
+          f"({best['instructions']:,} instructions in {best['wall_s']}s, "
+          f"{best['cycles']:,} cycles) -> {out}")
+
+
+if __name__ == "__main__":
+    main()

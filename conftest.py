@@ -1,0 +1,12 @@
+"""Repo-root pytest bootstrap: make ``src/`` importable.
+
+Lets ``python -m pytest`` work from a fresh checkout without the
+``PYTHONPATH=src`` incantation (which also still works).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

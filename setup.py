@@ -1,4 +1,11 @@
-"""Shim for environments whose setuptools lacks PEP 660 editable support."""
+"""Legacy entry point for environments without PEP 660 editable support.
+
+All metadata and the src layout live in ``pyproject.toml``; setuptools >= 61
+reads them on this path too. Use ``pip install -e .`` normally; on a bare
+setuptools toolchain (no ``wheel``, no network for build isolation) run
+``python setup.py develop`` instead — both make ``repro`` importable from
+``src/``.
+"""
 
 from setuptools import setup
 

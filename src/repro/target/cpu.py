@@ -1,0 +1,547 @@
+"""The virtual CPU: a 32-bit stack machine engineered for interpreter speed.
+
+This is the hottest loop in the whole framework — every benchmark, every
+lockstep equivalence test and every RTOS job funnels through it — so it is
+built around four rules:
+
+1. **Decode once.** :meth:`Cpu.load` turns the instruction list into three
+   parallel arrays (opcode ints, arguments, cycle costs). The run loop never
+   looks at an :class:`~repro.target.isa.Instr`, a string, or a dict.
+2. **Dispatch on ints.** The loop is a frequency-ordered ``if/elif`` chain
+   comparing a local int against hoisted local constants — no dictionary,
+   no attribute lookup, no method call per instruction.
+3. **Hoist everything.** Memory cells, the stack's bound ``append``/``pop``,
+   counters and constants live in locals for the duration of a run; state
+   is written back once in a ``finally``.
+4. **Zero-cost when unused.** Breakpoints, data-watchpoint write hooks and
+   single-stepping are resolved **once, before the loop**: if any is
+   active, execution routes to the fully-checked debug loop
+   (:meth:`_run_debug`); otherwise the fast loop contains not a single
+   hook or breakpoint test. Stack underflow and runaway program counters
+   are caught by the ``IndexError`` of the faulting list access instead of
+   per-instruction guards.
+
+Semantics are bit-identical to the reference expression interpreter
+(:mod:`repro.comdes.expr`) via the shared :mod:`repro.util.intmath` rules:
+signed 32-bit wraparound, C-style truncating division, 0/1 comparisons.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from repro.errors import TargetFault
+from repro.target.isa import (
+    CYCLES,
+    Instr,
+    OP_ADD, OP_AND, OP_DIV, OP_DUP, OP_EMIT, OP_EQ, OP_GE, OP_GT, OP_HALT,
+    OP_JMP, OP_JNZ, OP_JZ, OP_LDI, OP_LE, OP_LOAD, OP_LT, OP_MAX, OP_MIN,
+    OP_MOD, OP_MUL, OP_NE, OP_NEG, OP_NOT, OP_OR, OP_POP, OP_PUSH, OP_STI,
+    OP_STORE, OP_SUB, OP_SWAP,
+)
+from repro.target.memory import RAM_BASE
+from repro.target.peripherals import Gpio
+from repro.util.intmath import INT_MAX, INT_MIN, sdiv, smod, wrap32
+
+#: emit handler signature: (command kind, path id, value)
+EmitHandler = Callable[[int, int, int], None]
+
+DEFAULT_RUN_LIMIT = 1_000_000
+
+
+class StopReason(enum.Enum):
+    """Why a ``run`` returned."""
+
+    HALTED = "halted"          # executed HALT
+    BREAKPOINT = "breakpoint"  # stopped *before* a breakpointed instruction
+    LIMIT = "limit"            # instruction budget exhausted
+    STEP = "step"              # single_step executed its one instruction
+
+
+class RunResult(NamedTuple):
+    """Outcome of one ``run`` call (counts are for this run only)."""
+
+    reason: StopReason
+    instructions: int
+    cycles: int
+
+
+class Cpu:
+    """Stack-machine core over a :class:`~repro.target.memory.MemoryMap`."""
+
+    def __init__(self, memory, gpio: Optional[Gpio] = None,
+                 stack_depth: int = 128) -> None:
+        if stack_depth <= 0:
+            raise TargetFault(f"stack depth must be positive, got {stack_depth}")
+        self.memory = memory
+        self.gpio = gpio if gpio is not None else Gpio()
+        self.stack_depth = stack_depth
+        self.stack: List[int] = []
+        self.pc = 0
+        self.cycles = 0
+        self.instructions = 0
+        self.halted = True
+        self.breakpoints: Set[int] = set()
+        self.emit_handler: Optional[EmitHandler] = None
+        self.emit_log: List[Tuple[int, int, int]] = []
+        self.code: List[Instr] = []
+        # decoded program: parallel arrays indexed by pc
+        self._ops: List[int] = []
+        self._args: List[int] = []
+        self._cost: List[int] = []
+        # pc of the last breakpoint stop, so resuming steps over it
+        self._resume_pc = -1
+
+    # -- program loading ---------------------------------------------------
+
+    def load(self, code: Sequence[Instr]) -> None:
+        """Decode *code* once: strings -> ints, costs precomputed.
+
+        PUSH immediates are truncated to int32 here, like a real encoder's
+        immediate field — the machine's cells-are-int32 invariant must hold
+        even for hand-built (or fault-corrupted) out-of-range constants.
+        """
+        self.code = list(code)
+        self._ops = [instr.code for instr in self.code]
+        self._args = [wrap32(instr.arg) if instr.code == OP_PUSH
+                      else (0 if instr.arg is None else instr.arg)
+                      for instr in self.code]
+        self._cost = [CYCLES[instr.code] for instr in self.code]
+        self.pc = 0
+        self.stack.clear()
+        self.halted = True
+        self.cycles = 0
+        self.instructions = 0
+        self.emit_log.clear()
+        self._resume_pc = -1
+
+    def reset_task(self, entry: int) -> None:
+        """Point the CPU at a task entry with an empty stack."""
+        if not 0 <= entry < len(self._ops):
+            raise TargetFault(f"task entry {entry} outside code", entry)
+        self.pc = entry
+        self.stack.clear()
+        self.halted = False
+        self._resume_pc = -1
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, max_instructions: int = DEFAULT_RUN_LIMIT,
+            single_step: bool = False,
+            break_on_breakpoints: bool = False) -> RunResult:
+        """Execute until HALT, a debug stop, or the instruction budget.
+
+        The debug features are priced here, once: only when a write hook,
+        an armed breakpoint set, or single-stepping is actually present
+        does execution take the checked path.
+        """
+        if self.halted:
+            return RunResult(StopReason.HALTED, 0, 0)
+        if (single_step or self.memory.write_hook is not None
+                or (break_on_breakpoints and self.breakpoints)):
+            return self._run_debug(max_instructions, single_step,
+                                   break_on_breakpoints)
+        # uncontrolled execution invalidates any pending resume-over marker
+        self._resume_pc = -1
+        return self._run_fast(max_instructions)
+
+    def _run_fast(self, limit: int) -> RunResult:
+        """The hot loop: no hooks, no breakpoints, no string/dict dispatch."""
+        memory = self.memory
+        ops = self._ops
+        args = self._args
+        cost = self._cost
+        ncode = len(ops)
+        cells = memory.cells
+        nram = len(cells)
+        stack = self.stack
+        append = stack.append
+        pop = stack.pop
+        depth = self.stack_depth
+        emit_log = self.emit_log
+        handler = self.emit_handler
+        base_cycles = self.cycles
+        sdiv_ = sdiv
+        smod_ = smod
+        int_max = INT_MAX
+        int_min = INT_MIN
+        ram_base = RAM_BASE
+        # dispatch constants as locals: LOAD_FAST beats LOAD_GLOBAL
+        LOAD = OP_LOAD; PUSH = OP_PUSH; STORE = OP_STORE; ADD = OP_ADD
+        EQ = OP_EQ; NE = OP_NE; LT = OP_LT; LE = OP_LE; GT = OP_GT; GE = OP_GE
+        JMP = OP_JMP; JZ = OP_JZ; JNZ = OP_JNZ; SUB = OP_SUB; MUL = OP_MUL
+        MIN = OP_MIN; MAX = OP_MAX; AND = OP_AND; OR = OP_OR; NOT = OP_NOT
+        NEG = OP_NEG; DUP = OP_DUP; MOD = OP_MOD; DIV = OP_DIV
+        SWAP = OP_SWAP; POPC = OP_POP; LDI = OP_LDI; STI = OP_STI
+        EMIT = OP_EMIT; HALT = OP_HALT
+
+        pc = self.pc
+        run_cycles = 0
+        n = 0
+        reads = 0
+        writes = 0
+        in_handler = False
+        reason = StopReason.LIMIT
+        try:
+            while n < limit:
+                op = ops[pc]
+                run_cycles += cost[pc]
+                n += 1
+                if op == LOAD:
+                    index = args[pc] - ram_base
+                    if not 0 <= index < nram:
+                        raise TargetFault(
+                            f"LOAD outside RAM: 0x{args[pc]:08x}", pc)
+                    if len(stack) >= depth:
+                        raise TargetFault("stack overflow", pc)
+                    append(cells[index])
+                    reads += 1
+                    pc += 1
+                elif op == PUSH:
+                    if len(stack) >= depth:
+                        raise TargetFault("stack overflow", pc)
+                    append(args[pc])
+                    pc += 1
+                elif op == STORE:
+                    index = args[pc] - ram_base
+                    if not 0 <= index < nram:
+                        raise TargetFault(
+                            f"STORE outside RAM: 0x{args[pc]:08x}", pc)
+                    cells[index] = pop()
+                    writes += 1
+                    pc += 1
+                elif op == ADD:
+                    b = pop(); a = pop()
+                    r = a + b
+                    if r > int_max or r < int_min:
+                        r = ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+                    append(r)
+                    pc += 1
+                elif op == EQ:
+                    b = pop(); a = pop()
+                    append(1 if a == b else 0)
+                    pc += 1
+                elif op == NE:
+                    b = pop(); a = pop()
+                    append(1 if a != b else 0)
+                    pc += 1
+                elif op == LT:
+                    b = pop(); a = pop()
+                    append(1 if a < b else 0)
+                    pc += 1
+                elif op == LE:
+                    b = pop(); a = pop()
+                    append(1 if a <= b else 0)
+                    pc += 1
+                elif op == GT:
+                    b = pop(); a = pop()
+                    append(1 if a > b else 0)
+                    pc += 1
+                elif op == GE:
+                    b = pop(); a = pop()
+                    append(1 if a >= b else 0)
+                    pc += 1
+                elif op == JMP:
+                    target = args[pc]
+                    if not 0 <= target < ncode:
+                        raise TargetFault(f"JMP target {target} outside code",
+                                          pc)
+                    pc = target
+                elif op == JZ:
+                    target = args[pc]
+                    if pop() == 0:
+                        if not 0 <= target < ncode:
+                            raise TargetFault(
+                                f"JZ target {target} outside code", pc)
+                        pc = target
+                    else:
+                        pc += 1
+                elif op == JNZ:
+                    target = args[pc]
+                    if pop() != 0:
+                        if not 0 <= target < ncode:
+                            raise TargetFault(
+                                f"JNZ target {target} outside code", pc)
+                        pc = target
+                    else:
+                        pc += 1
+                elif op == SUB:
+                    b = pop(); a = pop()
+                    r = a - b
+                    if r > int_max or r < int_min:
+                        r = ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+                    append(r)
+                    pc += 1
+                elif op == MUL:
+                    b = pop(); a = pop()
+                    r = a * b
+                    if r > int_max or r < int_min:
+                        r = ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+                    append(r)
+                    pc += 1
+                elif op == MIN:
+                    b = pop(); a = pop()
+                    append(a if a <= b else b)
+                    pc += 1
+                elif op == MAX:
+                    b = pop(); a = pop()
+                    append(a if a >= b else b)
+                    pc += 1
+                elif op == AND:
+                    b = pop(); a = pop()
+                    append(1 if (a != 0 and b != 0) else 0)
+                    pc += 1
+                elif op == OR:
+                    b = pop(); a = pop()
+                    append(1 if (a != 0 or b != 0) else 0)
+                    pc += 1
+                elif op == NOT:
+                    append(0 if pop() != 0 else 1)
+                    pc += 1
+                elif op == NEG:
+                    r = -pop()
+                    if r > int_max:
+                        r = int_min  # -INT_MIN wraps
+                    append(r)
+                    pc += 1
+                elif op == DUP:
+                    if len(stack) >= depth:
+                        raise TargetFault("stack overflow", pc)
+                    append(stack[-1])
+                    pc += 1
+                elif op == MOD:
+                    b = pop(); a = pop()
+                    if b == 0:
+                        raise TargetFault("modulo by zero", pc)
+                    append(smod_(a, b))
+                    pc += 1
+                elif op == DIV:
+                    b = pop(); a = pop()
+                    if b == 0:
+                        raise TargetFault("division by zero", pc)
+                    append(sdiv_(a, b))
+                    pc += 1
+                elif op == SWAP:
+                    b = pop(); a = pop()
+                    append(b)
+                    append(a)
+                    pc += 1
+                elif op == POPC:
+                    pop()
+                    pc += 1
+                elif op == LDI:
+                    index = pop() - ram_base
+                    if not 0 <= index < nram:
+                        raise TargetFault("LDI outside RAM", pc)
+                    append(cells[index])
+                    reads += 1
+                    pc += 1
+                elif op == STI:
+                    index = pop() - ram_base
+                    value = pop()
+                    if not 0 <= index < nram:
+                        raise TargetFault("STI outside RAM", pc)
+                    cells[index] = value
+                    writes += 1
+                    pc += 1
+                elif op == EMIT:
+                    value = pop()
+                    path_id = pop()
+                    kind = args[pc]
+                    emit_log.append((kind, path_id, value))
+                    if handler is not None:
+                        # the handler reads self.cycles: sync before calling
+                        self.cycles = base_cycles + run_cycles
+                        in_handler = True
+                        handler(kind, path_id, value)
+                        in_handler = False
+                    pc += 1
+                else:  # HALT (the only remaining opcode)
+                    self.halted = True
+                    pc += 1
+                    reason = StopReason.HALTED
+                    break
+        except IndexError:
+            # The two structural faults surface as IndexError of the list
+            # access itself — no per-instruction guard needed. An emit
+            # handler's own IndexError propagates untouched.
+            if in_handler:
+                raise
+            if not 0 <= pc < ncode:
+                raise TargetFault("pc ran outside the code", pc) from None
+            if not stack:
+                raise TargetFault("stack underflow", pc) from None
+            raise
+        finally:
+            self.pc = pc
+            self.cycles = base_cycles + run_cycles
+            self.instructions += n
+            memory.reads += reads
+            memory.writes += writes
+        return RunResult(reason, n, run_cycles)
+
+    # -- checked execution (debugger path) ----------------------------------
+
+    def _run_debug(self, limit: int, single_step: bool,
+                   break_on_breakpoints: bool) -> RunResult:
+        """Full-fidelity loop: breakpoints, write hooks, single-stepping.
+
+        Memory goes through :meth:`MemoryMap.read_word` / ``write_word`` so
+        data watchpoints and access accounting behave exactly like the
+        reference semantics; ``self.pc``/``self.cycles`` are kept current so
+        hooks observe a consistent machine state.
+        """
+        memory = self.memory
+        ops = self._ops
+        args = self._args
+        cost = self._cost
+        ncode = len(ops)
+        stack = self.stack
+        depth = self.stack_depth
+        bps = self.breakpoints if break_on_breakpoints else None
+        skip_pc = self._resume_pc
+        self._resume_pc = -1
+        start_cycles = self.cycles
+        n = 0
+
+        while n < limit:
+            pc = self.pc
+            if bps and pc in bps and pc != skip_pc:
+                self._resume_pc = pc
+                return RunResult(StopReason.BREAKPOINT, n,
+                                 self.cycles - start_cycles)
+            skip_pc = -1
+            if not 0 <= pc < ncode:
+                raise TargetFault("pc ran outside the code", pc)
+            op = ops[pc]
+            arg = args[pc]
+            self.cycles += cost[pc]
+            self.instructions += 1
+            n += 1
+            try:
+                if op == OP_HALT:
+                    self.halted = True
+                    self.pc = pc + 1
+                    return RunResult(StopReason.HALTED, n,
+                                     self.cycles - start_cycles)
+                self.pc = self._step(op, arg, pc, stack, depth, memory, ncode)
+            except TargetFault as fault:
+                if fault.pc < 0:  # pin memory faults to this instruction
+                    raise TargetFault(fault.reason, pc) from None
+                raise
+            if single_step:
+                return RunResult(StopReason.STEP, n,
+                                 self.cycles - start_cycles)
+        return RunResult(StopReason.LIMIT, n, self.cycles - start_cycles)
+
+    def _step(self, op: int, arg: int, pc: int, stack: List[int],
+              depth: int, memory, ncode: int) -> int:
+        """Execute one non-HALT instruction, returning the next pc."""
+
+        def need(count: int) -> None:
+            if len(stack) < count:
+                raise TargetFault("stack underflow", pc)
+
+        def push(value: int) -> None:
+            if len(stack) >= depth:
+                raise TargetFault("stack overflow", pc)
+            stack.append(value)
+
+        def jump(target: int) -> int:
+            if not 0 <= target < ncode:
+                raise TargetFault(f"jump target {target} outside code", pc)
+            return target
+
+        if op == OP_LOAD:
+            push(memory.read_word(arg))
+        elif op == OP_PUSH:
+            push(arg)
+        elif op == OP_STORE:
+            need(1)
+            memory.write_word(arg, stack.pop())
+        elif op == OP_JMP:
+            return jump(arg)
+        elif op == OP_JZ:
+            need(1)
+            return jump(arg) if stack.pop() == 0 else pc + 1
+        elif op == OP_JNZ:
+            need(1)
+            return jump(arg) if stack.pop() != 0 else pc + 1
+        elif op == OP_NOT:
+            need(1)
+            stack.append(0 if stack.pop() != 0 else 1)
+        elif op == OP_NEG:
+            need(1)
+            r = -stack.pop()
+            stack.append(INT_MIN if r > INT_MAX else r)
+        elif op == OP_DUP:
+            need(1)
+            push(stack[-1])
+        elif op == OP_SWAP:
+            need(2)
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+        elif op == OP_POP:
+            need(1)
+            stack.pop()
+        elif op == OP_LDI:
+            need(1)
+            push(memory.read_word(stack.pop()))
+        elif op == OP_STI:
+            need(2)
+            addr = stack.pop()
+            memory.write_word(addr, stack.pop())
+        elif op == OP_EMIT:
+            need(2)
+            value = stack.pop()
+            path_id = stack.pop()
+            self.emit_log.append((arg, path_id, value))
+            if self.emit_handler is not None:
+                self.emit_handler(arg, path_id, value)
+        else:
+            need(2)
+            b = stack.pop()
+            a = stack.pop()
+            if op == OP_ADD:
+                r = a + b
+                stack.append(r if INT_MIN <= r <= INT_MAX
+                             else ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000)
+            elif op == OP_SUB:
+                r = a - b
+                stack.append(r if INT_MIN <= r <= INT_MAX
+                             else ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000)
+            elif op == OP_MUL:
+                r = a * b
+                stack.append(r if INT_MIN <= r <= INT_MAX
+                             else ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000)
+            elif op == OP_EQ:
+                stack.append(1 if a == b else 0)
+            elif op == OP_NE:
+                stack.append(1 if a != b else 0)
+            elif op == OP_LT:
+                stack.append(1 if a < b else 0)
+            elif op == OP_LE:
+                stack.append(1 if a <= b else 0)
+            elif op == OP_GT:
+                stack.append(1 if a > b else 0)
+            elif op == OP_GE:
+                stack.append(1 if a >= b else 0)
+            elif op == OP_MIN:
+                stack.append(a if a <= b else b)
+            elif op == OP_MAX:
+                stack.append(a if a >= b else b)
+            elif op == OP_AND:
+                stack.append(1 if (a != 0 and b != 0) else 0)
+            elif op == OP_OR:
+                stack.append(1 if (a != 0 or b != 0) else 0)
+            elif op == OP_DIV:
+                if b == 0:
+                    raise TargetFault("division by zero", pc)
+                stack.append(sdiv(a, b))
+            elif op == OP_MOD:
+                if b == 0:
+                    raise TargetFault("modulo by zero", pc)
+                stack.append(smod(a, b))
+            else:  # pragma: no cover - decode guarantees opcode validity
+                raise TargetFault(f"undecodable opcode {op}", pc)
+        return pc + 1
