@@ -1,0 +1,79 @@
+"""Gate: fail if any benchmark fell below its recorded floor.
+
+Reads ``FLOORS.json`` and checks each entry against the matching
+``BENCH_*.json`` scoreboard (or ``BENCH_*_quick.json`` with ``--quick``,
+the CI smoke files). Floors assert a minimum on a measured rate;
+ceilings assert a maximum on a modeled cost. Exits non-zero listing
+every violation, so CI turns a perf regression into a red build.
+
+Usage::
+
+    python benchmarks/check_floors.py           # check full-run scoreboards
+    python benchmarks/check_floors.py --quick   # check CI smoke files
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def dig(data, dotted_path: str):
+    """Walk a dotted path ('watches.64.polls_per_sec') through dicts."""
+    node = data
+    for part in dotted_path.split("."):
+        node = node[part]
+    return node
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    with open(os.path.join(HERE, "FLOORS.json"), encoding="utf-8") as handle:
+        floors = json.load(handle)
+
+    failures = []
+    for name, spec in floors.items():
+        stem = spec.get("file", name)
+        filename = f"{stem}_quick.json" if quick else f"{stem}.json"
+        path = os.path.join(HERE, filename)
+        if not os.path.exists(path):
+            failures.append(f"{name}: scoreboard {filename} missing")
+            continue
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        try:
+            value = dig(data, spec["metric"])
+        except (KeyError, TypeError):
+            failures.append(f"{name}: metric {spec['metric']!r} "
+                            f"not found in {filename}")
+            continue
+        if "floor" not in spec and "ceiling" not in spec:
+            failures.append(f"{name}: spec has neither floor nor ceiling")
+            continue
+        violated = False
+        if "floor" in spec and value < spec["floor"]:
+            failures.append(f"{name}: {spec['metric']} = {value} "
+                            f"below floor {spec['floor']}")
+            violated = True
+        if "ceiling" in spec and value > spec["ceiling"]:
+            failures.append(f"{name}: {spec['metric']} = {value} "
+                            f"above ceiling {spec['ceiling']}")
+            violated = True
+        if not violated:
+            bounds = ", ".join(f"{key} {spec[key]}"
+                               for key in ("floor", "ceiling") if key in spec)
+            print(f"ok: {name} {spec['metric']} = {value} ({bounds})")
+
+    if failures:
+        for failure in failures:
+            print(f"FLOOR VIOLATION - {failure}", file=sys.stderr)
+        return 1
+    print("all benchmark floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

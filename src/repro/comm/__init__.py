@@ -1,4 +1,4 @@
-"""Communication substrate: command protocol, RS-232, JTAG, USB transport.
+"""Communication substrate: the host <-> target debug transport stack.
 
 The paper defines two ways the target reaches the Graphical Debugger Model:
 
@@ -8,22 +8,61 @@ The paper defines two ways the target reaches the Graphical Debugger Model:
   the running chip over a USB/PCI host transport, with **zero** target-code
   modification.
 
-Both are implemented here behind the common :class:`~repro.comm.channel.DebugChannel`
-interface the runtime engine consumes.
+Both are implemented behind the common :class:`~repro.comm.channel.DebugChannel`
+interface the runtime engine consumes. The stack, top to bottom::
+
+    DebugChannel        what the engine sees: decoded Command fan-out
+      ActiveChannel     EMIT -> UART FIFO -> frames        (instrumented)
+      PassiveChannel    compiled PollPlan -> scatter read  (clean code)
+    DebugLink           transaction batching + the whole cost model
+      SerialLink        RS-232 line time + host receive latency
+      JtagLink          TCK-rate scan cost + one USB round trip per txn
+      DirectLink        in-process backdoor (free, still accounted)
+    wire models         Rs232Link / TapController+JtagProbe / UsbTransport
+
+TAP instruction register map (:mod:`repro.comm.jtag`):
+
+========= ======= ====================================================
+IDCODE    0b0001  32-bit device identification (capture)
+MEMADDR   0b0010  32-bit memory address register (update)
+MEMREAD   0b0011  capture loads RAM[address] for shifting out
+MEMWRITE  0b0100  update stores the shifted value to RAM[address]
+HALT      0b0101  update-IR stalls the target's task dispatching
+RESUME    0b0110  update-IR releases the stall
+BLOCKREAD 0b0111  MEMREAD with capture-time address auto-increment
+BYPASS    0b1111  single-bit bypass register
+========= ======= ====================================================
+
+**Link-layer cost model.** A link *transaction* is one host round trip;
+its cost is what the wire charges (scan bits at TCK rate for JTAG, line
+bits at baud rate for serial) plus the per-round-trip transport latency
+(USB frame scheduling, host receive path) paid **once per transaction**,
+not per word. BLOCKREAD is what makes that amortization real on the scan
+chain: N watched words are grouped into contiguous runs
+(:func:`~repro.comm.jtag.group_runs`) and move as block transfers inside
+a single transaction, so passive-poll cost grows sublinearly in watch
+count while the target still pays exactly zero cycles.
 """
 
 from repro.comm.protocol import Command, CommandKind
 from repro.comm.frames import FrameDecoder, FrameError, decode_frame, encode_frame
 from repro.comm.rs232 import Rs232Link
 from repro.comm.usb import UsbTransport
-from repro.comm.jtag import JtagProbe, TapController, TapState
-from repro.comm.channel import ActiveChannel, DebugChannel, PassiveChannel
+from repro.comm.jtag import JtagProbe, TapController, TapState, group_runs
+from repro.comm.link import DebugLink, DirectLink, JtagLink, SerialLink
+from repro.comm.channel import (
+    ActiveChannel,
+    DebugChannel,
+    PassiveChannel,
+    PollPlan,
+)
 
 __all__ = [
     "Command", "CommandKind",
     "encode_frame", "decode_frame", "FrameDecoder", "FrameError",
     "Rs232Link",
     "UsbTransport",
-    "TapState", "TapController", "JtagProbe",
-    "DebugChannel", "ActiveChannel", "PassiveChannel",
+    "TapState", "TapController", "JtagProbe", "group_runs",
+    "DebugLink", "DirectLink", "JtagLink", "SerialLink",
+    "DebugChannel", "ActiveChannel", "PassiveChannel", "PollPlan",
 ]

@@ -8,15 +8,22 @@ Both of the paper's command-interface solutions implement the same
 * :class:`PassiveChannel` — a JTAG probe polls monitored variables and
   synthesizes commands on change; zero target cost, latency bounded by the
   poll period plus scan time.
+
+Neither channel talks to a transport directly: all host <-> target I/O
+routes through a :class:`~repro.comm.link.DebugLink`, which owns the cost
+model and the transaction batching. A passive poll is **one** link
+transaction regardless of watch count — the poll plan (addresses resolved,
+contiguous runs grouped) is compiled once at :meth:`PassiveChannel.start`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.comdes.fsm import StateMachine
 from repro.comm.frames import FrameDecoder, encode_frame
-from repro.comm.jtag import JtagProbe
+from repro.comm.jtag import JtagProbe, group_runs
+from repro.comm.link import DebugLink, JtagLink, SerialLink
 from repro.comm.protocol import Command, CommandKind
 from repro.comm.rs232 import Rs232Link
 from repro.errors import CommError
@@ -93,8 +100,7 @@ class ActiveChannel(DebugChannel):
         self.sim = sim
         self.board = board
         self.firmware = firmware
-        self.link = link if link is not None else Rs232Link()
-        self.host_latency_us = host_latency_us
+        self.debug_link = SerialLink(link, host_latency_us, board)
         self.decoder = FrameDecoder()
         self.frames_sent = 0
         self.frames_dropped = 0
@@ -102,6 +108,20 @@ class ActiveChannel(DebugChannel):
         self._job_base_time = 0
         self._inflight: List[Tuple[int, int]] = []  # (t_done, nbytes)
         board.cpu.emit_handler = self._on_emit
+
+    @property
+    def link(self) -> Rs232Link:
+        """The underlying serial line (swap it to model a different cable)."""
+        return self.debug_link.line
+
+    @link.setter
+    def link(self, line: Rs232Link) -> None:
+        self.debug_link.line = line
+
+    @property
+    def host_latency_us(self) -> int:
+        """Fixed host-side receive latency, owned by the link."""
+        return self.debug_link.host_latency_us
 
     def begin_job(self, t_release: int) -> None:
         """Anchor subsequent emissions to this job's release instant."""
@@ -121,14 +141,13 @@ class ActiveChannel(DebugChannel):
             self.frames_dropped += 1
             return
 
-        _, t_done = self.link.transmit(t_emit, len(frame))
+        wire_frame, t_done, t_arrive = self.debug_link.transmit_frame(
+            t_emit, frame)
         self._inflight.append((t_done, len(frame)))
         self.board.uart.bytes_sent += len(frame)
         self.frames_sent += 1
-        wire_frame = self.link.corrupt(frame)  # line noise, if configured
-        t_arrive = max(t_done + self.host_latency_us, self.sim.now)
-        self.sim.schedule_at(t_arrive, self._deliver_frame, bytes(wire_frame),
-                             t_emit)
+        self.sim.schedule_at(max(t_arrive, self.sim.now), self._deliver_frame,
+                             wire_frame, t_emit)
 
     def _deliver_frame(self, frame: bytes, t_emit: int) -> None:
         for kind, path_id, value in self.decoder.feed(frame):
@@ -140,11 +159,11 @@ class ActiveChannel(DebugChannel):
 
     def halt_target(self) -> None:
         """Stall the target (debug-agent request carried over the serial RX)."""
-        self.board.stalled = True
+        self.debug_link.halt_target()
 
     def resume_target(self) -> None:
         """Release the target."""
-        self.board.stalled = False
+        self.debug_link.resume_target()
 
 
 class WatchSpec:
@@ -184,44 +203,73 @@ class WatchSpec:
         return f"<WatchSpec {self.symbol}>"
 
 
+class PollPlan:
+    """A compiled passive poll: addresses resolved, contiguous runs grouped.
+
+    Built once at :meth:`PassiveChannel.start`; every subsequent poll just
+    replays it. ``addrs[i]`` is the RAM address of watch *i*; ``runs`` is
+    the block-transfer plan the link executes in one transaction.
+    """
+
+    __slots__ = ("addrs", "runs")
+
+    def __init__(self, addrs: Sequence[int]) -> None:
+        self.addrs = list(addrs)
+        self.runs = group_runs(self.addrs)
+
+    def __repr__(self) -> str:
+        return (f"<PollPlan {len(self.addrs)} watch(es) in "
+                f"{len(self.runs)} run(s)>")
+
+
 class PassiveChannel(DebugChannel):
     """Passive command interface: periodic JTAG scan of monitored variables.
 
-    Every poll reads all watched words through the TAP (scan time charged at
-    TCK rate, one USB transaction per poll) and synthesizes a command for
-    each change. Between polls the target runs completely undisturbed.
+    Every poll executes the precompiled :class:`PollPlan` as **one** link
+    transaction (block reads riding the TAP's BLOCKREAD auto-increment),
+    synthesizing a command for each changed word. Between polls the target
+    runs completely undisturbed — and the poll itself never touches it.
     """
 
-    def __init__(self, sim: Simulator, probe: JtagProbe,
+    def __init__(self, sim: Simulator, probe: Optional[JtagProbe],
                  firmware: FirmwareImage, watches: Sequence[WatchSpec],
-                 poll_period_us: int = 500) -> None:
+                 poll_period_us: int = 500,
+                 link: Optional[DebugLink] = None) -> None:
         super().__init__()
         if poll_period_us <= 0:
             raise CommError(f"poll period must be positive, got {poll_period_us}")
         if not watches:
             raise CommError("passive channel needs at least one watch")
+        if link is None:
+            if probe is None:
+                raise CommError("passive channel needs a probe or a link")
+            link = JtagLink(probe)
         self.sim = sim
-        self.probe = probe
+        self.link = link
+        self.probe = probe if probe is not None else getattr(link, "probe", None)
         self.firmware = firmware
         self.watches = list(watches)
         self.poll_period_us = poll_period_us
         self.polls = 0
         self.scan_us_total = 0
-        self._last: Dict[str, int] = {}
+        self.plan: Optional[PollPlan] = None
+        self._last: List[int] = []
         self._running = False
         for watch in self.watches:
             firmware.symbols.lookup(watch.symbol)  # fail fast on bad names
 
     def start(self) -> None:
-        """Baseline all watches silently, then poll periodically."""
+        """Compile the poll plan, baseline all watches, poll periodically.
+
+        Symbol resolution happens here, exactly once per watch — polls
+        never consult the symbol table again.
+        """
         if self._running:
             raise CommError("passive channel already started")
         self._running = True
-        for watch in self.watches:
-            addr = self.firmware.symbols.addr_of(watch.symbol)
-            self._last[watch.symbol], _ = self.probe.read_word_timed(
-                addr, charge_transport=False
-            )
+        symbols = self.firmware.symbols
+        self.plan = PollPlan([symbols.addr_of(w.symbol) for w in self.watches])
+        self._last, _ = self.link.read_scatter(self.plan.addrs)
         self.sim.every(self.poll_period_us, self._poll)
 
     def stop(self) -> None:
@@ -233,22 +281,14 @@ class PassiveChannel(DebugChannel):
             return
         self.polls += 1
         t_poll = self.sim.now
-        scan_cost = 0
-        changes: List[Tuple[WatchSpec, int]] = []
-        for watch in self.watches:
-            addr = self.firmware.symbols.addr_of(watch.symbol)
-            value, cost = self.probe.read_word_timed(addr, charge_transport=False)
-            scan_cost += cost
-            if value != self._last[watch.symbol]:
-                self._last[watch.symbol] = value
-                changes.append((watch, value))
-        if self.probe.transport is not None:
-            scan_cost += self.probe.transport.transaction_cost_us(
-                2 * len(self.watches)
-            )
+        values, scan_cost = self.link.read_scatter(self.plan.addrs)
         self.scan_us_total += scan_cost
-        for watch, value in changes:
-            made = watch.make_command(value)
+        last = self._last
+        for index, value in enumerate(values):
+            if value == last[index]:
+                continue
+            last[index] = value
+            made = self.watches[index].make_command(value)
             if made is None:
                 continue
             kind, path, mapped = made
@@ -262,8 +302,8 @@ class PassiveChannel(DebugChannel):
 
     def halt_target(self) -> None:
         """Stall the target through the TAP HALT instruction."""
-        self.probe.halt_target()
+        self.link.halt_target()
 
     def resume_target(self) -> None:
         """Release the target through the TAP RESUME instruction."""
-        self.probe.resume_target()
+        self.link.resume_target()

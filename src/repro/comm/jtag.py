@@ -15,15 +15,21 @@ MEMREAD   0b0011  capture loads RAM[address] for shifting out
 MEMWRITE  0b0100  update stores the shifted value to RAM[address]
 HALT      0b0101  update-IR stalls the target's task dispatching
 RESUME    0b0110  update-IR releases the stall
+BLOCKREAD 0b0111  like MEMREAD, but capture auto-increments the address
 BYPASS    0b1111  single-bit bypass register
 ========= ======= ====================================================
+
+BLOCKREAD is the batching register (an ARM MEM-AP style auto-increment
+access): load the base once through MEMADDR, select BLOCKREAD once, then
+every Capture-DR reads the *next* consecutive word — N words cost one IR
+setup plus N DR scans instead of N full MEMADDR/MEMREAD round trips.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.comm.usb import UsbTransport
 from repro.errors import JtagError
@@ -41,6 +47,7 @@ class Instruction(enum.IntEnum):
     MEMWRITE = 0b0100
     HALT = 0b0101
     RESUME = 0b0110
+    BLOCKREAD = 0b0111
     BYPASS = 0b1111
 
 
@@ -151,6 +158,12 @@ class TapController:
             if not self.port.board.memory.contains(self._address):
                 return 0xDEADDEAD  # fault pattern, like real debug APs
             return self.port.read_word(self._address) & 0xFFFFFFFF
+        if instruction is Instruction.BLOCKREAD:
+            address = self._address
+            self._address = (address + 1) & 0xFFFFFFFF  # MEM-AP auto-increment
+            if not self.port.board.memory.contains(address):
+                return 0xDEADDEAD
+            return self.port.read_word(address) & 0xFFFFFFFF
         if instruction is Instruction.MEMADDR:
             return self._address
         return 0
@@ -171,6 +184,28 @@ class TapController:
             self.port.halt()
         elif self.ir == Instruction.RESUME:
             self.port.resume()
+
+
+def group_runs(addrs: Sequence[int]) -> List[Tuple[int, int]]:
+    """Group addresses into maximal contiguous ``(base, count)`` runs.
+
+    Input order and duplicates do not matter; runs come back sorted by
+    base. This is the scatter-read planner: each run becomes one
+    MEMADDR + BLOCKREAD sequence, so watch sets that live next to each
+    other in data RAM (the common case — codegen allocates sequentially)
+    collapse into very few block transfers.
+    """
+    runs: List[Tuple[int, int]] = []
+    for addr in sorted(set(addrs)):
+        if runs and addr == runs[-1][0] + runs[-1][1]:
+            runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+        else:
+            runs.append((addr, 1))
+    return runs
+
+
+def _sign32(raw: int) -> int:
+    return raw - (1 << 32) if raw >= (1 << 31) else raw
 
 
 class JtagProbe:
@@ -261,12 +296,64 @@ class JtagProbe:
         raw, cost = self._timed(op)
         if charge_transport and self.transport is not None:
             cost += self.transport.transaction_cost_us(2)
-        value = raw - (1 << 32) if raw >= (1 << 31) else raw
-        return value, cost
+        return _sign32(raw), cost
 
     def read_word(self, addr: int) -> int:
         """Read one RAM word (cost ignored)."""
         return self.read_word_timed(addr)[0]
+
+    def read_block_timed(self, base: int, count: int,
+                         charge_transport: bool = True
+                         ) -> Tuple[List[int], int]:
+        """Read *count* consecutive RAM words starting at *base*.
+
+        One MEMADDR load, one BLOCKREAD IR select, then *count* DR scans
+        riding the auto-increment — and at most **one** USB transaction,
+        however large the block. Returns ``(values, cost_us)``.
+        """
+        if count <= 0:
+            raise JtagError(f"block count must be positive, got {count}")
+
+        def op() -> List[int]:
+            self.shift_ir(Instruction.MEMADDR)
+            self.shift_dr(base, 32)
+            self.shift_ir(Instruction.BLOCKREAD)
+            return [_sign32(self.shift_dr(0, 32)) for _ in range(count)]
+
+        values, cost = self._timed(op)
+        if charge_transport and self.transport is not None:
+            cost += self.transport.transaction_cost_us(1 + count)
+        return values, cost
+
+    def read_scatter_timed(self, addrs: Sequence[int],
+                           charge_transport: bool = True
+                           ) -> Tuple[List[int], int]:
+        """Read arbitrary RAM words, batched into contiguous block runs.
+
+        The run plan comes from :func:`group_runs`; every run is one
+        MEMADDR + BLOCKREAD sequence on the same scan chain, and the whole
+        scatter read is charged as a **single** USB transaction. Returns
+        values aligned with *addrs* (duplicates allowed) plus the cost.
+        """
+        if not addrs:
+            raise JtagError("scatter read needs at least one address")
+        runs = group_runs(addrs)
+
+        def op() -> Dict[int, int]:
+            values: Dict[int, int] = {}
+            for base, count in runs:
+                self.shift_ir(Instruction.MEMADDR)
+                self.shift_dr(base, 32)
+                self.shift_ir(Instruction.BLOCKREAD)
+                for offset in range(count):
+                    values[base + offset] = _sign32(self.shift_dr(0, 32))
+            return values
+
+        by_addr, cost = self._timed(op)
+        if charge_transport and self.transport is not None:
+            words = len(runs) + sum(count for _, count in runs)
+            cost += self.transport.transaction_cost_us(words)
+        return [by_addr[addr] for addr in addrs], cost
 
     def write_word_timed(self, addr: int, value: int) -> int:
         """Write one RAM word; returns cost_us."""

@@ -5,12 +5,19 @@ instruction addresses (settable from the source map, i.e. "break on this
 model element's code"), a small number of *hardware* watchpoints on data
 words, single-stepping, and symbol inspection. It deliberately knows
 nothing about models — it is the code-level baseline.
+
+Memory inspection routes through a :class:`~repro.comm.link.DebugLink`
+(default: the zero-cost in-process :class:`~repro.comm.link.DirectLink`),
+so pointing the same debugger at a JTAG link prices every ``inspect`` as
+a real probe transaction — and ``inspect_many`` batches a whole variable
+view into one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.comm.link import DebugLink, DirectLink
 from repro.debugger.watch import Watchpoint
 from repro.errors import DebuggerError
 from repro.target.assembler import disassemble
@@ -43,9 +50,11 @@ class WatchHit:
 class SourceDebugger:
     """GDB-style control of one board."""
 
-    def __init__(self, board: Board, firmware: FirmwareImage) -> None:
+    def __init__(self, board: Board, firmware: FirmwareImage,
+                 link: Optional[DebugLink] = None) -> None:
         self.board = board
         self.firmware = firmware
+        self.link = link if link is not None else DirectLink(board)
         self.watchpoints: List[Watchpoint] = []
         self.hits: List[WatchHit] = []
         self._shadow: dict = {}
@@ -130,8 +139,22 @@ class SourceDebugger:
     # -- inspection --------------------------------------------------------
 
     def inspect(self, symbol: str) -> int:
-        """Read a symbol's current value."""
-        return self.board.memory.peek(self.firmware.symbols.addr_of(symbol))
+        """Read a symbol's current value (one link transaction)."""
+        value, _ = self.link.read_word(self.firmware.symbols.addr_of(symbol))
+        return value
+
+    def inspect_many(self, symbols: Sequence[str]) -> Dict[str, int]:
+        """Read several symbols in one batched link transaction.
+
+        The addresses are grouped into contiguous runs by the link, so a
+        variable view refreshing dozens of symbols costs one round trip —
+        same batching the passive channel's poll plan uses.
+        """
+        if not symbols:
+            return {}
+        addrs = [self.firmware.symbols.addr_of(name) for name in symbols]
+        values, _ = self.link.read_scatter(addrs)
+        return dict(zip(symbols, values))
 
     def list_source(self, around_pc: Optional[int] = None,
                     context: int = 4) -> str:

@@ -35,6 +35,7 @@ from repro.comm.channel import (
     WatchSpec,
 )
 from repro.comm.jtag import JtagProbe, TapController
+from repro.comm.link import DebugLink, JtagLink
 from repro.comm.rs232 import Rs232Link
 from repro.comm.usb import UsbTransport
 from repro.engine.engine import DebuggerEngine
@@ -132,6 +133,8 @@ class DebugSession:
         self.stepper: Optional[StepController] = None
         self.channel = None
         self.probes: Dict[str, JtagProbe] = {}
+        #: one DebugLink per node — the transport every debug byte crosses
+        self.links: Dict[str, DebugLink] = {}
 
     def _log(self, step: int, message: str) -> None:
         self.workflow_log.append(f"[{step}] {message}")
@@ -203,6 +206,7 @@ class DebugSession:
             if self.channel_kind == "active":
                 channel = ActiveChannel(self.sim, board, self.firmware,
                                         link=Rs232Link(self.baud))
+                self.links[node] = channel.debug_link
                 self.kernel.add_job_hook(
                     node,
                     lambda actor, t, ch=channel: ch.begin_job(t),
@@ -213,11 +217,14 @@ class DebugSession:
                 probe = JtagProbe(tap, tck_hz=self.tck_hz,
                                   transport=UsbTransport())
                 self.probes[node] = probe
+                link = JtagLink(probe)
+                self.links[node] = link
                 watches = default_watches(self.system, node)
                 if watches:
                     channel = PassiveChannel(
                         self.sim, probe, self.firmware, watches,
                         poll_period_us=self.poll_period_us,
+                        link=link,
                     )
                     channel.start()
                     composite.add(channel)

@@ -7,6 +7,12 @@ via a replay function associated with a timing diagram." (paper §III)
 A trace is an append-only sequence of (command, reactions) events with both
 target-side and host-side timestamps. It is serializable, and replay is a
 pure function of it.
+
+By default a trace grows without bound (short sessions, full replay). Long
+campaigns pass ``capacity=N``: the trace becomes a ring buffer keeping the
+newest N events, counting what it evicted in ``dropped`` — memory stays
+flat while sequence numbers keep telling the truth about how much history
+existed.
 """
 
 from __future__ import annotations
@@ -60,49 +66,78 @@ class TraceEvent:
 
 
 class ExecutionTrace:
-    """Append-only event log with query helpers."""
+    """Append-only event log with query helpers.
 
-    def __init__(self) -> None:
+    ``capacity=None`` (default) keeps everything; ``capacity=N`` keeps the
+    newest N events in a ring buffer and counts evictions in ``dropped``.
+    The ring is a plain list plus a head index, so indexed access stays
+    O(1) — sequential replay over a bounded window is linear, not
+    quadratic.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
         self._events: List[TraceEvent] = []
+        self._head = 0  # index of the oldest event once the ring wrapped
+        self.dropped = 0
+        self._seq = 0
 
     def record(self, command: Command, reactions: Sequence[ReactionRecord],
                engine_state: str) -> TraceEvent:
-        """Append an event."""
-        event = TraceEvent(len(self._events), command, reactions, engine_state)
-        self._events.append(event)
+        """Append an event (overwriting the oldest when at capacity)."""
+        event = TraceEvent(self._seq, command, reactions, engine_state)
+        self._seq += 1
+        if self.capacity is not None and len(self._events) == self.capacity:
+            self._events[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+        else:
+            self._events.append(event)
         return event
 
     def __len__(self) -> int:
         return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        events = self._events
+        if self._head == 0:
+            return iter(events)
+        return iter(events[self._head:] + events[:self._head])
 
     def __getitem__(self, index: int) -> TraceEvent:
-        return self._events[index]
+        events = self._events
+        if self._head == 0:
+            return events[index]
+        if index < 0:
+            index += len(events)
+        if not 0 <= index < len(events):
+            raise IndexError(f"trace index {index} out of range")
+        return events[(self._head + index) % len(events)]
 
     def events(self, kind: Optional[CommandKind] = None,
                path_prefix: str = "") -> List[TraceEvent]:
         """Events filtered by kind and/or path prefix."""
-        selected = self._events
+        selected: List[TraceEvent] = list(self)
         if kind is not None:
             selected = [e for e in selected if e.command.kind is kind]
         if path_prefix:
             selected = [e for e in selected
                         if e.command.path.startswith(path_prefix)]
-        return list(selected)
+        return selected
 
     def duration_us(self) -> int:
         """Host-time span covered by the trace."""
         if not self._events:
             return 0
-        return (self._events[-1].command.t_host
-                - self._events[0].command.t_host)
+        return (self[len(self._events) - 1].command.t_host
+                - self[0].command.t_host)
 
     def counts_by_path(self) -> Dict[str, int]:
         """Event count per source path."""
         counts: Dict[str, int] = {}
-        for event in self._events:
+        for event in self._events:  # order-independent: raw storage is fine
             counts[event.command.path] = counts.get(event.command.path, 0) + 1
         return counts
 
@@ -115,8 +150,8 @@ class ExecutionTrace:
     # -- serialization --------------------------------------------------------
 
     def to_dicts(self) -> List[dict]:
-        """Serialize the whole trace."""
-        return [event.to_dict() for event in self._events]
+        """Serialize the whole trace (oldest surviving event first)."""
+        return [event.to_dict() for event in self]
 
     @classmethod
     def from_dicts(cls, data: Sequence[dict]) -> "ExecutionTrace":
@@ -124,6 +159,8 @@ class ExecutionTrace:
         trace = cls()
         for record in data:
             trace._events.append(TraceEvent.from_dict(record))
+        if trace._events:
+            trace._seq = trace._events[-1].seq + 1
         return trace
 
     def save(self, path: str) -> None:

@@ -4,9 +4,12 @@ This is the hottest loop in the whole framework — every benchmark, every
 lockstep equivalence test and every RTOS job funnels through it — so it is
 built around four rules:
 
-1. **Decode once.** :meth:`Cpu.load` turns the instruction list into three
-   parallel arrays (opcode ints, arguments, cycle costs). The run loop never
-   looks at an :class:`~repro.target.isa.Instr`, a string, or a dict.
+1. **Decode once, one row per instruction.** :meth:`Cpu.load` turns the
+   instruction list into a single array of packed ``(opcode, arg, cycles)``
+   tuples — direct-threaded style: the run loop does **one** list index
+   plus one unpack per instruction instead of three parallel-array
+   indexes, and never looks at an :class:`~repro.target.isa.Instr`, a
+   string, or a dict.
 2. **Dispatch on ints.** The loop is a frequency-ordered ``if/elif`` chain
    comparing a local int against hoisted local constants — no dictionary,
    no attribute lookup, no method call per instruction.
@@ -86,10 +89,8 @@ class Cpu:
         self.emit_handler: Optional[EmitHandler] = None
         self.emit_log: List[Tuple[int, int, int]] = []
         self.code: List[Instr] = []
-        # decoded program: parallel arrays indexed by pc
-        self._ops: List[int] = []
-        self._args: List[int] = []
-        self._cost: List[int] = []
+        # decoded program: one packed (op, arg, cycles) row per pc
+        self._rows: List[Tuple[int, int, int]] = []
         # pc of the last breakpoint stop, so resuming steps over it
         self._resume_pc = -1
 
@@ -103,11 +104,13 @@ class Cpu:
         even for hand-built (or fault-corrupted) out-of-range constants.
         """
         self.code = list(code)
-        self._ops = [instr.code for instr in self.code]
-        self._args = [wrap32(instr.arg) if instr.code == OP_PUSH
-                      else (0 if instr.arg is None else instr.arg)
-                      for instr in self.code]
-        self._cost = [CYCLES[instr.code] for instr in self.code]
+        self._rows = [
+            (instr.code,
+             wrap32(instr.arg) if instr.code == OP_PUSH
+             else (0 if instr.arg is None else instr.arg),
+             CYCLES[instr.code])
+            for instr in self.code
+        ]
         self.pc = 0
         self.stack.clear()
         self.halted = True
@@ -118,7 +121,7 @@ class Cpu:
 
     def reset_task(self, entry: int) -> None:
         """Point the CPU at a task entry with an empty stack."""
-        if not 0 <= entry < len(self._ops):
+        if not 0 <= entry < len(self._rows):
             raise TargetFault(f"task entry {entry} outside code", entry)
         self.pc = entry
         self.stack.clear()
@@ -149,10 +152,8 @@ class Cpu:
     def _run_fast(self, limit: int) -> RunResult:
         """The hot loop: no hooks, no breakpoints, no string/dict dispatch."""
         memory = self.memory
-        ops = self._ops
-        args = self._args
-        cost = self._cost
-        ncode = len(ops)
+        rows = self._rows
+        ncode = len(rows)
         cells = memory.cells
         nram = len(cells)
         stack = self.stack
@@ -185,14 +186,14 @@ class Cpu:
         reason = StopReason.LIMIT
         try:
             while n < limit:
-                op = ops[pc]
-                run_cycles += cost[pc]
+                op, arg, cst = rows[pc]
+                run_cycles += cst
                 n += 1
                 if op == LOAD:
-                    index = args[pc] - ram_base
+                    index = arg - ram_base
                     if not 0 <= index < nram:
                         raise TargetFault(
-                            f"LOAD outside RAM: 0x{args[pc]:08x}", pc)
+                            f"LOAD outside RAM: 0x{arg:08x}", pc)
                     if len(stack) >= depth:
                         raise TargetFault("stack overflow", pc)
                     append(cells[index])
@@ -201,13 +202,13 @@ class Cpu:
                 elif op == PUSH:
                     if len(stack) >= depth:
                         raise TargetFault("stack overflow", pc)
-                    append(args[pc])
+                    append(arg)
                     pc += 1
                 elif op == STORE:
-                    index = args[pc] - ram_base
+                    index = arg - ram_base
                     if not 0 <= index < nram:
                         raise TargetFault(
-                            f"STORE outside RAM: 0x{args[pc]:08x}", pc)
+                            f"STORE outside RAM: 0x{arg:08x}", pc)
                     cells[index] = pop()
                     writes += 1
                     pc += 1
@@ -243,27 +244,24 @@ class Cpu:
                     append(1 if a >= b else 0)
                     pc += 1
                 elif op == JMP:
-                    target = args[pc]
-                    if not 0 <= target < ncode:
-                        raise TargetFault(f"JMP target {target} outside code",
+                    if not 0 <= arg < ncode:
+                        raise TargetFault(f"JMP target {arg} outside code",
                                           pc)
-                    pc = target
+                    pc = arg
                 elif op == JZ:
-                    target = args[pc]
                     if pop() == 0:
-                        if not 0 <= target < ncode:
+                        if not 0 <= arg < ncode:
                             raise TargetFault(
-                                f"JZ target {target} outside code", pc)
-                        pc = target
+                                f"JZ target {arg} outside code", pc)
+                        pc = arg
                     else:
                         pc += 1
                 elif op == JNZ:
-                    target = args[pc]
                     if pop() != 0:
-                        if not 0 <= target < ncode:
+                        if not 0 <= arg < ncode:
                             raise TargetFault(
-                                f"JNZ target {target} outside code", pc)
-                        pc = target
+                                f"JNZ target {arg} outside code", pc)
+                        pc = arg
                     else:
                         pc += 1
                 elif op == SUB:
@@ -348,7 +346,7 @@ class Cpu:
                 elif op == EMIT:
                     value = pop()
                     path_id = pop()
-                    kind = args[pc]
+                    kind = arg
                     emit_log.append((kind, path_id, value))
                     if handler is not None:
                         # the handler reads self.cycles: sync before calling
@@ -393,10 +391,8 @@ class Cpu:
         hooks observe a consistent machine state.
         """
         memory = self.memory
-        ops = self._ops
-        args = self._args
-        cost = self._cost
-        ncode = len(ops)
+        rows = self._rows
+        ncode = len(rows)
         stack = self.stack
         depth = self.stack_depth
         bps = self.breakpoints if break_on_breakpoints else None
@@ -414,9 +410,8 @@ class Cpu:
             skip_pc = -1
             if not 0 <= pc < ncode:
                 raise TargetFault("pc ran outside the code", pc)
-            op = ops[pc]
-            arg = args[pc]
-            self.cycles += cost[pc]
+            op, arg, cst = rows[pc]
+            self.cycles += cst
             self.instructions += 1
             n += 1
             try:

@@ -101,3 +101,74 @@ class TestProbeOperations:
         tap = TapController(DebugPort(Board()))
         with pytest.raises(JtagError):
             JtagProbe(tap, tck_hz=0)
+
+
+class TestBlockRead:
+    def test_block_read_equals_per_word_reads(self):
+        board, probe = make_probe()
+        expected = []
+        for offset in range(10):
+            board.memory.poke(RAM_BASE + offset, (offset - 5) * 1234)
+            expected.append((offset - 5) * 1234)
+        values, _ = probe.read_block_timed(RAM_BASE, 10)
+        assert values == expected
+
+    def test_capture_auto_increments_address(self):
+        board = Board()
+        tap = TapController(DebugPort(board))
+        probe = JtagProbe(tap)
+        probe.shift_ir(Instruction.MEMADDR)
+        probe.shift_dr(RAM_BASE, 32)
+        probe.shift_ir(Instruction.BLOCKREAD)
+        probe.shift_dr(0, 32)
+        probe.shift_dr(0, 32)
+        assert tap._address == RAM_BASE + 2
+
+    def test_memread_does_not_auto_increment(self):
+        board = Board()
+        tap = TapController(DebugPort(board))
+        probe = JtagProbe(tap)
+        probe.shift_ir(Instruction.MEMADDR)
+        probe.shift_dr(RAM_BASE, 32)
+        probe.shift_ir(Instruction.MEMREAD)
+        probe.shift_dr(0, 32)
+        probe.shift_dr(0, 32)
+        assert tap._address == RAM_BASE
+
+    def test_out_of_range_words_capture_fault_pattern(self):
+        board, probe = make_probe()
+        last = RAM_BASE + len(board.memory) - 1
+        board.memory.poke(last, 7)
+        values, _ = probe.read_block_timed(last, 2)
+        assert values[0] == 7
+        assert values[1] & 0xFFFFFFFF == 0xDEADDEAD
+
+    def test_block_read_fewer_tck_cycles_than_word_reads(self):
+        _, block_probe = make_probe()
+        block_probe.read_block_timed(RAM_BASE, 16)
+        block_clocks = block_probe.tap.tck_count
+        _, word_probe = make_probe()
+        for offset in range(16):
+            word_probe.read_word_timed(RAM_BASE + offset)
+        assert block_clocks < word_probe.tap.tck_count / 2
+
+    def test_invalid_count_rejected(self):
+        _, probe = make_probe()
+        with pytest.raises(JtagError):
+            probe.read_block_timed(RAM_BASE, 0)
+
+    def test_scatter_rejects_empty(self):
+        _, probe = make_probe()
+        with pytest.raises(JtagError):
+            probe.read_scatter_timed([])
+
+    def test_five_tms_clocks_reset_with_blockread_selected(self):
+        board = Board()
+        tap = TapController(DebugPort(board))
+        probe = JtagProbe(tap)
+        probe.shift_ir(Instruction.BLOCKREAD)
+        assert tap.ir == int(Instruction.BLOCKREAD)
+        for _ in range(5):
+            tap.drive(1)
+        assert tap.state is TapState.TEST_LOGIC_RESET
+        assert tap.ir == int(Instruction.IDCODE)

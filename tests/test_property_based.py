@@ -111,6 +111,55 @@ class TestTapProperties:
                     frontier.append(nxt)
         assert seen == set(TapState)
 
+    @given(values=st.lists(st.integers(min_value=-2**31, max_value=2**31 - 1),
+                           min_size=1, max_size=24),
+           start=st.integers(0, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_block_read_equals_per_word_reads(self, values, start):
+        # A BLOCKREAD of N words is observationally identical to N
+        # MEMADDR+MEMREAD round trips: same values, same final address.
+        from repro.comm.jtag import JtagProbe
+        board = Board()
+        base = RAM_BASE + start
+        for offset, value in enumerate(values):
+            board.memory.poke(base + offset, value)
+        block_probe = JtagProbe(TapController(DebugPort(board)))
+        block_values, _ = block_probe.read_block_timed(base, len(values))
+        word_probe = JtagProbe(TapController(DebugPort(board)))
+        word_values = [word_probe.read_word(base + offset)
+                       for offset in range(len(values))]
+        assert block_values == word_values == values
+
+    @given(addrs=st.lists(st.integers(0, 40), min_size=1, max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_scatter_read_aligns_with_request_order(self, addrs):
+        from repro.comm.jtag import JtagProbe
+        board = Board()
+        for offset in range(41):
+            board.memory.poke(RAM_BASE + offset, offset * 7 - 140)
+        probe = JtagProbe(TapController(DebugPort(board)))
+        request = [RAM_BASE + a for a in addrs]
+        values, _ = probe.read_scatter_timed(request)
+        assert values == [board.memory.peek(a) for a in request]
+
+    @given(walk=st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                         max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_five_tms_reset_holds_mid_block_read(self, walk):
+        # The reset property must survive the new DR: load BLOCKREAD,
+        # wander anywhere (mid-shift included), then 5x TMS=1 resets.
+        from repro.comm.jtag import Instruction, JtagProbe
+        board = Board()
+        tap = TapController(DebugPort(board))
+        probe = JtagProbe(tap)
+        probe.shift_ir(Instruction.BLOCKREAD)
+        for tms, tdi in walk:
+            tap.drive(tms, tdi)
+        for _ in range(5):
+            tap.drive(1)
+        assert tap.state is TapState.TEST_LOGIC_RESET
+        assert tap.ir == int(Instruction.IDCODE)
+
 
 class TestFrameProperties:
     @given(commands=st.lists(

@@ -1,0 +1,91 @@
+"""Tests for ExecutionTrace bounded (ring-buffer) mode."""
+
+import pytest
+
+from repro.comm.protocol import Command, CommandKind
+from repro.engine.trace import ExecutionTrace
+
+
+def cmd(i: int) -> Command:
+    return Command(CommandKind.SIG_UPDATE, f"signal:s{i}", i,
+                   t_target=i * 10, t_host=i * 10 + 1)
+
+
+def fill(trace: ExecutionTrace, n: int) -> None:
+    for i in range(n):
+        trace.record(cmd(i), [], "RUNNING")
+
+
+class TestUnboundedDefault:
+    def test_default_keeps_everything(self):
+        trace = ExecutionTrace()
+        fill(trace, 500)
+        assert len(trace) == 500
+        assert trace.dropped == 0
+        assert [e.seq for e in trace][:3] == [0, 1, 2]
+
+    def test_serialization_roundtrip_preserves_seq(self):
+        trace = ExecutionTrace()
+        fill(trace, 5)
+        restored = ExecutionTrace.from_dicts(trace.to_dicts())
+        assert [e.seq for e in restored] == [0, 1, 2, 3, 4]
+        restored.record(cmd(99), [], "RUNNING")
+        assert restored[len(restored) - 1].seq == 5
+
+
+class TestBoundedRing:
+    def test_capacity_keeps_newest_and_counts_dropped(self):
+        trace = ExecutionTrace(capacity=10)
+        fill(trace, 35)
+        assert len(trace) == 10
+        assert trace.dropped == 25
+        assert [e.seq for e in trace] == list(range(25, 35))
+
+    def test_memory_stays_flat(self):
+        trace = ExecutionTrace(capacity=8)
+        fill(trace, 8)
+        events_at_capacity = list(trace)
+        fill(trace, 10_000)
+        assert len(trace) == 8
+        assert trace[0].seq == 10_000  # oldest surviving event
+
+        # behavior identical before capacity is reached
+        assert len(events_at_capacity) == 8
+
+    def test_queries_work_on_the_window(self):
+        trace = ExecutionTrace(capacity=4)
+        fill(trace, 12)
+        assert trace.duration_us() == trace[3].command.t_host - trace[0].command.t_host
+        assert set(trace.counts_by_path()) == {f"signal:s{i}"
+                                               for i in range(8, 12)}
+        assert trace.mean_latency_us() == 1
+
+    def test_under_capacity_behaves_like_unbounded(self):
+        bounded = ExecutionTrace(capacity=100)
+        unbounded = ExecutionTrace()
+        fill(bounded, 20)
+        fill(unbounded, 20)
+        assert bounded.to_dicts() == unbounded.to_dicts()
+        assert bounded.dropped == 0
+
+    def test_wrapped_indexing_matches_iteration_order(self):
+        trace = ExecutionTrace(capacity=7)
+        fill(trace, 23)  # head lands mid-ring
+        assert [trace[i].seq for i in range(len(trace))] == \
+               [e.seq for e in trace]
+        assert trace[-1].seq == 22
+        with pytest.raises(IndexError):
+            trace[7]
+        with pytest.raises(IndexError):
+            trace[-8]
+
+    def test_serialization_of_wrapped_ring_is_oldest_first(self):
+        trace = ExecutionTrace(capacity=4)
+        fill(trace, 9)
+        assert [d["seq"] for d in trace.to_dicts()] == [5, 6, 7, 8]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionTrace(capacity=0)
+        with pytest.raises(ValueError):
+            ExecutionTrace(capacity=-3)
