@@ -44,6 +44,7 @@ from repro.comm.protocol import Command, CommandKind
 
 # RTOS
 from repro.rtos.kernel import DtmKernel
+from repro.rtos.sharding import ShardedDtmKernel
 from repro.rtos.task import LoadTask
 
 # GDM + engine (the paper's contribution)
@@ -60,15 +61,16 @@ from repro.engine.classify import BugClass, classify_bug
 from repro.engine.engine import DebuggerEngine, EngineState
 from repro.engine.inspector import ModelInspector
 from repro.engine.replay import ReplayPlayer
-from repro.engine.session import DebugSession
+from repro.engine.session import DebugSession, TransportBudget
 from repro.engine.timing_diagram import TimingDiagram
 from repro.gdm.command_setup import CommandSetupDialog
 from repro.gdm.store import load_gdm, save_gdm
 from repro.rtos.analysis import AnalyzedTask, analyze
 
-# Baseline + faults
+# Baseline + faults + fleet
 from repro.debugger.gdb import SourceDebugger
 from repro.faults import run_campaign
+from repro.fleet import FleetRunner, SerialRunner
 
 # Utilities
 from repro.sim.kernel import Simulator
@@ -88,18 +90,19 @@ __all__ = [
     "Command", "CommandKind", "ActiveChannel", "PassiveChannel", "WatchSpec",
     "TapController", "JtagProbe",
     # rtos
-    "DtmKernel", "LoadTask",
+    "DtmKernel", "ShardedDtmKernel", "LoadTask",
     # gdm + engine
     "PatternKind", "PatternSpec", "MappingRule", "MappingTable",
     "default_comdes_table", "AbstractionGuide", "AbstractionEngine",
     "GdmModel", "CommandBinding", "DebuggerEngine", "EngineState",
     "StateEntryBreakpoint", "SignalConditionBreakpoint",
-    "ReplayPlayer", "TimingDiagram", "DebugSession", "ModelInspector",
+    "ReplayPlayer", "TimingDiagram", "DebugSession", "TransportBudget",
+    "ModelInspector",
     "CommandSetupDialog", "save_gdm", "load_gdm",
     "BugClass", "classify_bug",
     "AnalyzedTask", "analyze",
-    # baseline + faults
-    "SourceDebugger", "run_campaign",
+    # baseline + faults + fleet
+    "SourceDebugger", "run_campaign", "FleetRunner", "SerialRunner",
     # utilities
     "Simulator", "us", "ms", "sec",
 ]

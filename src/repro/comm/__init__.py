@@ -22,16 +22,17 @@ interface the runtime engine consumes. The stack, top to bottom::
 
 TAP instruction register map (:mod:`repro.comm.jtag`):
 
-========= ======= ====================================================
-IDCODE    0b0001  32-bit device identification (capture)
-MEMADDR   0b0010  32-bit memory address register (update)
-MEMREAD   0b0011  capture loads RAM[address] for shifting out
-MEMWRITE  0b0100  update stores the shifted value to RAM[address]
-HALT      0b0101  update-IR stalls the target's task dispatching
-RESUME    0b0110  update-IR releases the stall
-BLOCKREAD 0b0111  MEMREAD with capture-time address auto-increment
-BYPASS    0b1111  single-bit bypass register
-========= ======= ====================================================
+========== ======= ====================================================
+IDCODE     0b0001  32-bit device identification (capture)
+MEMADDR    0b0010  32-bit memory address register (update)
+MEMREAD    0b0011  capture loads RAM[address] for shifting out
+MEMWRITE   0b0100  update stores the shifted value to RAM[address]
+HALT       0b0101  update-IR stalls the target's task dispatching
+RESUME     0b0110  update-IR releases the stall
+BLOCKREAD  0b0111  MEMREAD with capture-time address auto-increment
+BLOCKWRITE 0b1000  MEMWRITE with update-time address auto-increment
+BYPASS     0b1111  single-bit bypass register
+========== ======= ====================================================
 
 **Link-layer cost model.** A link *transaction* is one host round trip;
 its cost is what the wire charges (scan bits at TCK rate for JTAG, line
@@ -41,7 +42,11 @@ not per word. BLOCKREAD is what makes that amortization real on the scan
 chain: N watched words are grouped into contiguous runs
 (:func:`~repro.comm.jtag.group_runs`) and move as block transfers inside
 a single transaction, so passive-poll cost grows sublinearly in watch
-count while the target still pays exactly zero cycles.
+count while the target still pays exactly zero cycles. BLOCKWRITE is the
+mirror-image write path: bulk memory patches (fault injection over JTAG,
+state restoration) are grouped into contiguous runs by
+:func:`~repro.comm.link.write_patches` and each run moves as one
+MEMADDR + BLOCKWRITE sequence inside a single transaction.
 """
 
 from repro.comm.protocol import Command, CommandKind
@@ -49,7 +54,13 @@ from repro.comm.frames import FrameDecoder, FrameError, decode_frame, encode_fra
 from repro.comm.rs232 import Rs232Link
 from repro.comm.usb import UsbTransport
 from repro.comm.jtag import JtagProbe, TapController, TapState, group_runs
-from repro.comm.link import DebugLink, DirectLink, JtagLink, SerialLink
+from repro.comm.link import (
+    DebugLink,
+    DirectLink,
+    JtagLink,
+    SerialLink,
+    write_patches,
+)
 from repro.comm.channel import (
     ActiveChannel,
     DebugChannel,
@@ -63,6 +74,6 @@ __all__ = [
     "Rs232Link",
     "UsbTransport",
     "TapState", "TapController", "JtagProbe", "group_runs",
-    "DebugLink", "DirectLink", "JtagLink", "SerialLink",
+    "DebugLink", "DirectLink", "JtagLink", "SerialLink", "write_patches",
     "DebugChannel", "ActiveChannel", "PassiveChannel", "PollPlan",
 ]

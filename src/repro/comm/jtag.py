@@ -10,19 +10,23 @@ Data registers implemented behind the IR:
 
 ========= ======= ====================================================
 IDCODE    0b0001  32-bit device identification (capture)
-MEMADDR   0b0010  32-bit memory address register (update)
-MEMREAD   0b0011  capture loads RAM[address] for shifting out
-MEMWRITE  0b0100  update stores the shifted value to RAM[address]
-HALT      0b0101  update-IR stalls the target's task dispatching
-RESUME    0b0110  update-IR releases the stall
-BLOCKREAD 0b0111  like MEMREAD, but capture auto-increments the address
-BYPASS    0b1111  single-bit bypass register
-========= ======= ====================================================
+MEMADDR    0b0010  32-bit memory address register (update)
+MEMREAD    0b0011  capture loads RAM[address] for shifting out
+MEMWRITE   0b0100  update stores the shifted value to RAM[address]
+HALT       0b0101  update-IR stalls the target's task dispatching
+RESUME     0b0110  update-IR releases the stall
+BLOCKREAD  0b0111  like MEMREAD, but capture auto-increments the address
+BLOCKWRITE 0b1000  like MEMWRITE, but update auto-increments the address
+BYPASS     0b1111  single-bit bypass register
+========== ======= ====================================================
 
-BLOCKREAD is the batching register (an ARM MEM-AP style auto-increment
-access): load the base once through MEMADDR, select BLOCKREAD once, then
-every Capture-DR reads the *next* consecutive word — N words cost one IR
-setup plus N DR scans instead of N full MEMADDR/MEMREAD round trips.
+BLOCKREAD and BLOCKWRITE are the batching registers (ARM MEM-AP style
+auto-increment accesses): load the base once through MEMADDR, select the
+block register once, then every Capture-DR reads — or every Update-DR
+writes — the *next* consecutive word. N words cost one IR setup plus N
+DR scans instead of N full MEMADDR/MEMREAD (or MEMWRITE) round trips,
+which is what lets fault-injection memory patches and watch-set polls
+ride a single USB transaction.
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ class Instruction(enum.IntEnum):
     HALT = 0b0101
     RESUME = 0b0110
     BLOCKREAD = 0b0111
+    BLOCKWRITE = 0b1000
     BYPASS = 0b1111
 
 
@@ -178,6 +183,11 @@ class TapController:
         elif instruction is Instruction.MEMWRITE:
             if self.port.board.memory.contains(self._address):
                 self.port.write_word(self._address, self._shift & 0xFFFFFFFF)
+        elif instruction is Instruction.BLOCKWRITE:
+            address = self._address
+            self._address = (address + 1) & 0xFFFFFFFF  # MEM-AP auto-increment
+            if self.port.board.memory.contains(address):
+                self.port.write_word(address, self._shift & 0xFFFFFFFF)
 
     def _apply_ir_side_effect(self) -> None:
         if self.ir == Instruction.HALT:
@@ -354,6 +364,31 @@ class JtagProbe:
             words = len(runs) + sum(count for _, count in runs)
             cost += self.transport.transaction_cost_us(words)
         return [by_addr[addr] for addr in addrs], cost
+
+    def write_block_timed(self, base: int, values: Sequence[int],
+                          charge_transport: bool = True) -> int:
+        """Write consecutive RAM words starting at *base*; returns cost_us.
+
+        One MEMADDR load, one BLOCKWRITE IR select, then one DR scan per
+        word riding the auto-increment — and at most **one** USB
+        transaction, however large the block. This is the bulk
+        memory-patch path (fault injection over JTAG).
+        """
+        if not values:
+            raise JtagError("block write needs at least one value")
+
+        def op() -> int:
+            self.shift_ir(Instruction.MEMADDR)
+            self.shift_dr(base, 32)
+            self.shift_ir(Instruction.BLOCKWRITE)
+            for value in values:
+                self.shift_dr(value & 0xFFFFFFFF, 32)
+            return 0
+
+        _, cost = self._timed(op)
+        if charge_transport and self.transport is not None:
+            cost += self.transport.transaction_cost_us(1 + len(values))
+        return cost
 
     def write_word_timed(self, addr: int, value: int) -> int:
         """Write one RAM word; returns cost_us."""

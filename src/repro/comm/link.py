@@ -77,6 +77,10 @@ class DebugLink:
         """Write one word; returns cost_us. One transaction."""
         raise CommError(f"{self.kind} link cannot write target memory")
 
+    def write_block(self, base: int, values: Sequence[int]) -> int:
+        """Write consecutive words starting at *base*. One transaction."""
+        raise CommError(f"{self.kind} link cannot write target memory")
+
     # -- frame contract (serial-class links) -------------------------------
 
     def transmit_frame(self, t_ready: int,
@@ -134,6 +138,10 @@ class JtagLink(DebugLink):
     def write_word(self, addr: int, value: int) -> int:
         cost = self.probe.write_word_timed(addr, value)
         return self._account(cost, words_written=1)
+
+    def write_block(self, base: int, values: Sequence[int]) -> int:
+        cost = self.probe.write_block_timed(base, values)
+        return self._account(cost, words_written=len(values))
 
     def halt_target(self) -> None:
         self.probe.halt_target()
@@ -225,8 +233,43 @@ class DirectLink(DebugLink):
         self.board.memory.poke(addr, value)
         return self._account(0, words_written=1)
 
+    def write_block(self, base: int, values: Sequence[int]) -> int:
+        if not values:
+            raise CommError("block write needs at least one value")
+        for offset, value in enumerate(values):
+            self.board.memory.poke(base + offset, value)
+        return self._account(0, words_written=len(values))
+
     def halt_target(self) -> None:
         self.board.stalled = True
 
     def resume_target(self) -> None:
         self.board.stalled = False
+
+
+def write_patches(link: DebugLink, patches: Sequence[Tuple[int, int]]) -> int:
+    """Apply ``(addr, value)`` memory patches through *link*, batched.
+
+    The write-side scatter planner: patches are grouped into maximal
+    contiguous address runs and every run becomes one
+    :meth:`DebugLink.write_block` call — on a JTAG link that is one
+    MEMADDR + BLOCKWRITE sequence per run and one USB transaction each,
+    instead of a round trip per patched word. Later duplicates of an
+    address win (the order fault injectors produce). Returns the total
+    modeled cost in microseconds.
+    """
+    if not patches:
+        return 0
+    by_addr = {addr: value for addr, value in patches}
+    cost = 0
+    run_base: Optional[int] = None
+    run_values: List[int] = []
+    for addr in sorted(by_addr):
+        if run_base is not None and addr == run_base + len(run_values):
+            run_values.append(by_addr[addr])
+            continue
+        if run_base is not None:
+            cost += link.write_block(run_base, run_values)
+        run_base, run_values = addr, [by_addr[addr]]
+    cost += link.write_block(run_base, run_values)
+    return cost

@@ -41,7 +41,7 @@ from repro.comm.usb import UsbTransport
 from repro.engine.engine import DebuggerEngine
 from repro.engine.stepping import StepController
 from repro.engine.timing_diagram import TimingDiagram
-from repro.errors import DebuggerError
+from repro.errors import BudgetExceededError, DebuggerError
 from repro.gdm.guide import AbstractionGuide
 from repro.gdm.mapping import MappingTable, default_comdes_table
 from repro.gdm.model import CommandBinding, GdmModel
@@ -90,6 +90,53 @@ def default_watches(system: System, node: str) -> List[WatchSpec]:
     return watches
 
 
+class TransportBudget:
+    """Per-session ceilings on what the debug transport may consume.
+
+    Budgets are written against :meth:`DebugLink.stats` aggregates — the
+    accounting every link keeps — so they hold for any channel kind:
+
+    * ``max_transactions`` — host round trips (USB/serial scheduling is
+      usually the scarce resource on real probes);
+    * ``max_cost_us`` — total modeled transport time, the budget that
+      keeps a "passive" observation plan honest about bus occupancy.
+
+    A session with a budget fails its experiment the moment a run ends
+    over the ceiling (:class:`~repro.errors.BudgetExceededError`), which
+    is how campaign-scale sweeps reject observation plans too expensive
+    to deploy rather than silently reporting their detections.
+    """
+
+    __slots__ = ("max_transactions", "max_cost_us")
+
+    def __init__(self, max_transactions: Optional[int] = None,
+                 max_cost_us: Optional[int] = None) -> None:
+        for name, value in (("max_transactions", max_transactions),
+                            ("max_cost_us", max_cost_us)):
+            if value is not None and value < 0:
+                raise DebuggerError(f"{name} must be non-negative, "
+                                    f"got {value}")
+        self.max_transactions = max_transactions
+        self.max_cost_us = max_cost_us
+
+    def violations(self, stats: Dict[str, int]) -> List[str]:
+        """Ceilings exceeded by an aggregated stats snapshot."""
+        found = []
+        if (self.max_transactions is not None
+                and stats["transactions"] > self.max_transactions):
+            found.append(f"{stats['transactions']} transactions > "
+                         f"budget {self.max_transactions}")
+        if (self.max_cost_us is not None
+                and stats["cost_us_total"] > self.max_cost_us):
+            found.append(f"{stats['cost_us_total']}us transport cost > "
+                         f"budget {self.max_cost_us}us")
+        return found
+
+    def __repr__(self) -> str:
+        return (f"<TransportBudget txn<={self.max_transactions} "
+                f"cost<={self.max_cost_us}us>")
+
+
 class DebugSession:
     """One GMDF debugging session over a simulated target."""
 
@@ -99,7 +146,8 @@ class DebugSession:
                  plan: Optional[InstrumentationPlan] = None,
                  latched: bool = True, net_delay_us: int = 100,
                  baud: int = 115200, poll_period_us: int = 500,
-                 tck_hz: int = 4_000_000) -> None:
+                 tck_hz: int = 4_000_000,
+                 budget: Optional[TransportBudget] = None) -> None:
         if channel_kind not in self.CHANNEL_KINDS:
             raise DebuggerError(
                 f"channel_kind must be one of {self.CHANNEL_KINDS}, "
@@ -135,6 +183,10 @@ class DebugSession:
         self.probes: Dict[str, JtagProbe] = {}
         #: one DebugLink per node — the transport every debug byte crosses
         self.links: Dict[str, DebugLink] = {}
+        #: optional transport ceilings; checked after every run
+        self.budget = budget
+        #: set once a run ends over budget (the experiment is failed)
+        self.budget_failed = False
 
     def _log(self, step: int, message: str) -> None:
         self.workflow_log.append(f"[{step}] {message}")
@@ -255,14 +307,46 @@ class DebugSession:
     # -- runtime ------------------------------------------------------------
 
     def run(self, duration_us: int) -> "DebugSession":
-        """Advance the simulated world to *duration_us*."""
+        """Advance the simulated world to *duration_us*.
+
+        With a :class:`TransportBudget` attached, the transport books
+        are audited after the advance; going over the ceiling marks the
+        experiment failed and raises
+        :class:`~repro.errors.BudgetExceededError`.
+        """
         self._require(self.kernel is not None, "run step5_connect first")
         self.kernel.run(duration_us)
+        self._check_budget()
         return self
 
     def run_for(self, delta_us: int) -> "DebugSession":
         """Advance by *delta_us* from the current instant."""
         return self.run(self.sim.now + delta_us)
+
+    # -- transport accounting ----------------------------------------------
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Session-wide :meth:`DebugLink.stats` aggregate over all nodes."""
+        totals = {"transactions": 0, "words_read": 0, "words_written": 0,
+                  "frames_carried": 0, "cost_us_total": 0}
+        for link in self.links.values():
+            stats = link.stats()
+            for key in totals:
+                totals[key] += stats[key]
+        totals["links"] = len(self.links)
+        return totals
+
+    def budget_violations(self) -> List[str]:
+        """Current ceilings exceeded (empty without a budget)."""
+        if self.budget is None:
+            return []
+        return self.budget.violations(self.transport_stats())
+
+    def _check_budget(self) -> None:
+        violations = self.budget_violations()
+        if violations:
+            self.budget_failed = True
+            raise BudgetExceededError(violations, self.transport_stats())
 
     # -- views --------------------------------------------------------------
 

@@ -66,8 +66,26 @@ class DebuggerError(ReproError):
     """The runtime debugger engine or baseline debugger was misused."""
 
 
+class BudgetExceededError(DebuggerError):
+    """A debug session burned through its transport budget.
+
+    Carries the individual violation strings in :attr:`violations` and
+    the offending stats snapshot in :attr:`stats`.
+    """
+
+    def __init__(self, violations, stats):
+        self.violations = list(violations)
+        self.stats = dict(stats)
+        super().__init__("transport budget exceeded: "
+                         + "; ".join(self.violations))
+
+
 class SchedulerError(ReproError):
     """The RTOS scheduler detected an inconsistent task set or overload."""
+
+
+class FleetError(ReproError):
+    """The fleet execution subsystem was misconfigured or a worker failed."""
 
 
 class RenderError(ReproError):

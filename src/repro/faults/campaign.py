@@ -16,41 +16,64 @@ job" — design errors — is where it pulls ahead.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.codegen.instrument import InstrumentationPlan
 from repro.codegen.pipeline import generate_firmware
 from repro.comdes.reflect import system_to_model
 from repro.comdes.system import System
 from repro.comm.channel import ActiveChannel, CompositeChannel
+from repro.comm.jtag import JtagProbe, TapController
+from repro.comm.link import JtagLink, write_patches
 from repro.comm.rs232 import Rs232Link
 from repro.debugger.gdb import SourceDebugger
 from repro.engine.checks import MonitorSuite
 from repro.engine.engine import DebuggerEngine
-from repro.errors import TargetFault
+from repro.errors import FleetError, TargetFault
 from repro.faults.design import DESIGN_FAULT_KINDS, FaultDescriptor, inject_design_fault
-from repro.faults.implementation import IMPL_FAULT_KINDS, inject_implementation_fault
+from repro.faults.implementation import (
+    IMPL_FAULT_KINDS,
+    inject_implementation_fault,
+    split_memory_patches,
+)
 from repro.gdm.abstraction import AbstractionEngine
 from repro.gdm.mapping import default_comdes_table
 from repro.rtos.kernel import DtmKernel
 from repro.sim.kernel import Simulator
+from repro.target.board import DebugPort
 from repro.target.firmware import FirmwareImage
 
 #: code-level watch: (symbol, predicate-or-None, description)
 CodeWatchSpec = Tuple[str, Optional[Callable[[int], bool]], str]
 
+#: watch specs, given directly or as a zero-argument factory (the factory
+#: form is what the process-pool runner ships to workers)
+WatchSpecsInput = Union[Sequence[CodeWatchSpec],
+                        Callable[[], Sequence[CodeWatchSpec]]]
+
+#: memory patches applied over the debug link before the run starts
+MemoryPatches = Sequence[Tuple[int, int]]
+
 
 class FaultOutcome:
-    """Detection result of one fault under both debuggers."""
+    """Detection result of one fault under both debuggers.
+
+    ``classified_as`` carries the differential oracle's verdict
+    (:func:`repro.engine.classify.classify_bug`) for faults the model
+    debugger detected: ``"design"``, ``"implementation"`` or
+    ``"consistent"``; empty when the fault went undetected (nothing to
+    classify).
+    """
 
     __slots__ = ("fault", "model_detected", "model_latency_us", "model_how",
-                 "code_detected", "code_latency_us", "code_how")
+                 "code_detected", "code_latency_us", "code_how",
+                 "classified_as")
 
     def __init__(self, fault: FaultDescriptor,
                  model_detected: bool, model_latency_us: Optional[int],
                  model_how: str,
                  code_detected: bool, code_latency_us: Optional[int],
-                 code_how: str) -> None:
+                 code_how: str, classified_as: str = "") -> None:
         self.fault = fault
         self.model_detected = model_detected
         self.model_latency_us = model_latency_us
@@ -58,6 +81,7 @@ class FaultOutcome:
         self.code_detected = code_detected
         self.code_latency_us = code_latency_us
         self.code_how = code_how
+        self.classified_as = classified_as
 
     def __repr__(self) -> str:
         return (f"<FaultOutcome {self.fault.fault_id} "
@@ -66,12 +90,18 @@ class FaultOutcome:
 
 
 class CampaignResult:
-    """Aggregated campaign outcomes."""
+    """Aggregated campaign outcomes.
+
+    ``failures`` is empty for inline campaigns; a lenient fleet merge
+    (``merge_results(..., strict=False)``) parks its structured
+    worker-side failures there so both code paths return the same shape.
+    """
 
     def __init__(self, outcomes: Sequence[FaultOutcome],
                  false_positives: int) -> None:
         self.outcomes = list(outcomes)
         self.false_positives = false_positives
+        self.failures: List[object] = []
 
     def of_category(self, category: str) -> List[FaultOutcome]:
         """Outcomes of one fault category."""
@@ -95,6 +125,19 @@ class CampaignResult:
             return None
         return sum(values) / len(values)
 
+    def classification_accuracy(self,
+                                category: Optional[str] = None
+                                ) -> Optional[float]:
+        """Fraction of classified detections whose oracle verdict matches
+        the injected category (the classifier's campaign-scale score)."""
+        selected = (self.outcomes if category is None
+                    else self.of_category(category))
+        classified = [o for o in selected if o.classified_as]
+        if not classified:
+            return None
+        return (sum(o.classified_as == o.fault.category for o in classified)
+                / len(classified))
+
     def summary_rows(self) -> List[Dict[str, object]]:
         """Per-category summary for table printing."""
         rows = []
@@ -112,12 +155,31 @@ class CampaignResult:
         return rows
 
 
+def _patch_boards(kernel: DtmKernel, system: System,
+                  patches: MemoryPatches) -> None:
+    """Apply fault memory patches to every node board over JTAG.
+
+    Bulk patching rides the TAP's BLOCKWRITE auto-increment: contiguous
+    patch runs become single block transactions on a throwaway
+    :class:`JtagLink`, the same path bench hardware uses to corrupt RAM
+    without reflashing.
+    """
+    for node in system.nodes():
+        board = kernel.board_of(node)
+        link = JtagLink(JtagProbe(TapController(DebugPort(board))))
+        write_patches(link, patches)
+
+
 def _run_model_debugger(system: System, firmware: FirmwareImage,
                         monitor_factory: Callable[[], MonitorSuite],
-                        duration_us: int) -> Tuple[bool, Optional[int], str]:
+                        duration_us: int,
+                        memory_patches: MemoryPatches = ()
+                        ) -> Tuple[bool, Optional[int], str]:
     """Run GMDF over the faulty target; returns (detected, latency, how)."""
     sim = Simulator()
     kernel = DtmKernel(system, firmware, sim=sim, latched=True)
+    if memory_patches:
+        _patch_boards(kernel, system, memory_patches)
     composite = CompositeChannel()
     for node in system.nodes():
         channel = ActiveChannel(sim, kernel.board_of(node), firmware,
@@ -140,10 +202,14 @@ def _run_model_debugger(system: System, firmware: FirmwareImage,
 
 def _run_code_debugger(system: System, firmware: FirmwareImage,
                        watch_specs: Sequence[CodeWatchSpec],
-                       duration_us: int) -> Tuple[bool, Optional[int], str]:
+                       duration_us: int,
+                       memory_patches: MemoryPatches = ()
+                       ) -> Tuple[bool, Optional[int], str]:
     """Run the source-debugger baseline; returns (detected, latency, how)."""
     sim = Simulator()
     kernel = DtmKernel(system, firmware, sim=sim, latched=True)
+    if memory_patches:
+        _patch_boards(kernel, system, memory_patches)
     hits: List[int] = []
     for node in system.nodes():
         debugger = SourceDebugger(kernel.board_of(node), firmware)
@@ -165,52 +231,152 @@ def _run_code_debugger(system: System, firmware: FirmwareImage,
     return False, None, ""
 
 
+def run_control_experiment(
+    system_factory: Callable[[], System],
+    monitor_factory: Callable[[], MonitorSuite],
+    watch_specs: Sequence[CodeWatchSpec],
+    duration_us: int,
+    plan: InstrumentationPlan,
+    base_firmware: Optional[FirmwareImage] = None,
+) -> Tuple[bool, bool]:
+    """Fault-free run under both debuggers; returns detection flags.
+
+    Anything detected here is a false positive.
+    """
+    pristine = system_factory()
+    firmware = (base_firmware if base_firmware is not None
+                else generate_firmware(pristine, plan))
+    detected, _, _ = _run_model_debugger(pristine, firmware,
+                                         monitor_factory, duration_us)
+    code_detected, _, _ = _run_code_debugger(pristine, firmware,
+                                             watch_specs, duration_us)
+    return detected, code_detected
+
+
+def run_fault_experiment(
+    system_factory: Callable[[], System],
+    monitor_factory: Callable[[], MonitorSuite],
+    watch_specs: Sequence[CodeWatchSpec],
+    category: str,
+    kind: str,
+    seed: int,
+    duration_us: int,
+    plan: InstrumentationPlan,
+    base_firmware: Optional[FirmwareImage] = None,
+) -> Optional[FaultOutcome]:
+    """Inject one fault and score it under both debuggers.
+
+    This is the unit of work both the inline loop and the fleet workers
+    execute — one code path, so parallel campaigns reproduce serial
+    results exactly. Returns ``None`` when the injector declines (the
+    kind does not apply to this system). ``base_firmware`` optionally
+    reuses a pre-generated pristine image (implementation faults only;
+    codegen is deterministic, so this is a pure time save).
+    """
+    if category == "design":
+        mutant, fault = inject_design_fault(system_factory(), kind, seed)
+        if mutant is None:
+            return None
+        firmware = generate_firmware(mutant, plan)
+        model_result = _run_model_debugger(mutant, firmware,
+                                           monitor_factory, duration_us)
+        code_result = _run_code_debugger(mutant, firmware,
+                                         watch_specs, duration_us)
+        verdict = _classify(mutant, firmware, model_result[0])
+        return FaultOutcome(fault, *model_result, *code_result,
+                            classified_as=verdict)
+
+    if category == "implementation":
+        base = system_factory()
+        base_fw = (base_firmware if base_firmware is not None
+                   else generate_firmware(base, plan))
+        mutant_fw, fault = inject_implementation_fault(base_fw, kind, seed)
+        if mutant_fw is None:
+            return None
+        # Code corruptions stay in the flashed image; data-word
+        # corruptions are applied to the live boards over the debug
+        # link (batched BLOCKWRITE) — fault injection over JTAG.
+        run_fw, patches = split_memory_patches(base_fw, mutant_fw)
+        model_result = _run_model_debugger(base, run_fw, monitor_factory,
+                                           duration_us,
+                                           memory_patches=patches)
+        code_result = _run_code_debugger(base, run_fw, watch_specs,
+                                         duration_us,
+                                         memory_patches=patches)
+        # The oracle replays the full mutant image (patches baked in):
+        # a fresh differential board has no debug link to patch over.
+        verdict = _classify(base, mutant_fw, model_result[0])
+        return FaultOutcome(fault, *model_result, *code_result,
+                            classified_as=verdict)
+
+    raise FleetError(f"unknown experiment category {category!r}")
+
+
+def _classify(system: System, firmware: FirmwareImage,
+              model_detected: bool) -> str:
+    """Differential-oracle verdict for a detected fault ('' if undetected)."""
+    if not model_detected:
+        return ""
+    from repro.engine.classify import classify_bug
+    return classify_bug(system, firmware, violation_observed=True).verdict.value
+
+
 def run_campaign(
     system_factory: Callable[[], System],
     monitor_factory: Callable[[], MonitorSuite],
-    code_watch_specs: Sequence[CodeWatchSpec],
+    code_watch_specs: WatchSpecsInput,
     design_kinds: Sequence[str] = tuple(DESIGN_FAULT_KINDS),
     impl_kinds: Sequence[str] = tuple(IMPL_FAULT_KINDS),
     seeds: Sequence[int] = (1, 2, 3),
     duration_us: int = 3_000_000,
     plan: Optional[InstrumentationPlan] = None,
+    runner: Optional[object] = None,
 ) -> CampaignResult:
-    """Inject faults, run both debuggers on each, aggregate detection."""
+    """Inject faults, run both debuggers on each, aggregate detection.
+
+    With ``runner=None`` experiments run inline, one after another. Pass
+    a :class:`repro.fleet.FleetRunner` (or
+    :class:`repro.fleet.SerialRunner`) to execute the same corpus
+    through the fleet subsystem — worker processes for scale-out —
+    which requires the three factories to be importable module-level
+    callables (``code_watch_specs`` given as a factory, not a list).
+    Parallel and serial campaigns produce identical results.
+    """
     plan = plan if plan is not None else InstrumentationPlan.full()
+
+    if runner is not None:
+        from repro.fleet.jobs import enumerate_campaign_jobs
+        from repro.fleet.merge import merge_results
+        specs = enumerate_campaign_jobs(
+            system_factory, monitor_factory, code_watch_specs,
+            design_kinds=design_kinds, impl_kinds=impl_kinds, seeds=seeds,
+            duration_us=duration_us, plan=plan,
+        )
+        return merge_results(specs, runner.run(specs))
+
+    watch_specs = (code_watch_specs() if callable(code_watch_specs)
+                   else code_watch_specs)
     outcomes: List[FaultOutcome] = []
 
     # Control run: the fault-free system must trigger nothing.
-    pristine = system_factory()
-    pristine_fw = generate_firmware(pristine, plan)
-    detected, _, _ = _run_model_debugger(pristine, pristine_fw,
-                                         monitor_factory, duration_us)
-    code_detected, _, _ = _run_code_debugger(pristine, pristine_fw,
-                                             code_watch_specs, duration_us)
+    detected, code_detected = run_control_experiment(
+        system_factory, monitor_factory, watch_specs, duration_us, plan)
     false_positives = int(detected) + int(code_detected)
 
     for kind in design_kinds:
         for seed in seeds:
-            mutant, fault = inject_design_fault(system_factory(), kind, seed)
-            if mutant is None:
-                continue
-            firmware = generate_firmware(mutant, plan)
-            model_result = _run_model_debugger(mutant, firmware,
-                                               monitor_factory, duration_us)
-            code_result = _run_code_debugger(mutant, firmware,
-                                             code_watch_specs, duration_us)
-            outcomes.append(FaultOutcome(fault, *model_result, *code_result))
+            outcome = run_fault_experiment(
+                system_factory, monitor_factory, watch_specs,
+                "design", kind, seed, duration_us, plan)
+            if outcome is not None:
+                outcomes.append(outcome)
 
     for kind in impl_kinds:
         for seed in seeds:
-            base = system_factory()
-            base_fw = generate_firmware(base, plan)
-            mutant_fw, fault = inject_implementation_fault(base_fw, kind, seed)
-            if mutant_fw is None:
-                continue
-            model_result = _run_model_debugger(base, mutant_fw,
-                                               monitor_factory, duration_us)
-            code_result = _run_code_debugger(base, mutant_fw,
-                                             code_watch_specs, duration_us)
-            outcomes.append(FaultOutcome(fault, *model_result, *code_result))
+            outcome = run_fault_experiment(
+                system_factory, monitor_factory, watch_specs,
+                "implementation", kind, seed, duration_us, plan)
+            if outcome is not None:
+                outcomes.append(outcome)
 
     return CampaignResult(outcomes, false_positives)

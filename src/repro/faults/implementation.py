@@ -154,6 +154,29 @@ def _fault_dead_store_zero(firmware: FirmwareImage,
     return f"pc={pc}: {name} behaves stuck-at-zero (store dropped, init zeroed)"
 
 
+def split_memory_patches(base: FirmwareImage, mutant: FirmwareImage
+                         ) -> Tuple[FirmwareImage, List[Tuple[int, int]]]:
+    """Split a firmware mutation into (code image, data memory patches).
+
+    The returned image carries the mutant's *code* but the base's
+    pristine ``data_init``; the data-word corruptions come back as
+    ``(addr, value)`` patches. The campaign applies those patches to the
+    live board over the debug link (one batched BLOCKWRITE transaction)
+    — fault injection over JTAG, exactly how bench hardware does it —
+    instead of baking them into the flashed image. End state is
+    identical: patches land before the first instruction runs.
+    """
+    patched = copy.copy(mutant)
+    patched.data_init = dict(base.data_init)
+    addrs = set(base.data_init) | set(mutant.data_init)
+    patches = [
+        (addr, mutant.data_init.get(addr, 0))
+        for addr in sorted(addrs)
+        if base.data_init.get(addr, 0) != mutant.data_init.get(addr, 0)
+    ]
+    return patched, patches
+
+
 #: kind name -> injector
 IMPL_FAULT_KINDS = {
     "const_corrupt": _fault_const_corrupt,

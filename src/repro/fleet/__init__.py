@@ -1,0 +1,72 @@
+"""repro.fleet — process-pool execution for campaign scale-out and sharding.
+
+Parson's observation (*Extension Language Automation of Embedded System
+Debugging*) is that a debugger becomes an experimentation platform the
+moment its runs can be scripted and batched. This package is that batch
+layer: fault campaigns and multi-board simulations stop serializing on
+one interpreter and fan out over worker processes, so scenario count
+scales with cores instead of wall-clock.
+
+Architecture — four layers, strictly stacked::
+
+    merge.py    results -> CampaignResult     canonical order, loud failures
+    pool.py     FleetRunner / SerialRunner    chunked dispatch, crash retry,
+                                              deterministic seed derivation
+    worker.py   run_job(JobSpec) -> JobResult the process entry point
+    jobs.py     JobSpec / JobResult           picklable recipes, callable refs
+
+The load-bearing design rules:
+
+* **Recipes cross processes, objects never do.** A ``JobSpec`` carries
+  ``"module:qualname"`` references plus ``(category, kind, seed)`` fault
+  coordinates; the worker rebuilds system, firmware and fault locally.
+  No live ``Board``, monitor lambda or half-run simulator is ever
+  pickled, so results cannot depend on which process ran the job.
+* **One code path.** Workers execute the exact functions the inline
+  serial loop uses (``run_fault_experiment`` / ``run_control_experiment``
+  in :mod:`repro.faults.campaign`), and results are merged by canonical
+  corpus index — parallel output equals serial output bit for bit, for
+  any worker count and chunk size.
+* **Failures are data.** A worker exception returns as a structured
+  ``JobResult.error`` (type, message, traceback); a worker that dies
+  outright is retried in isolation and, if it dies again, reported as a
+  ``WorkerCrashed`` failure. The merge refuses to fabricate a detection
+  table from a corpus with holes unless explicitly asked
+  (``strict=False``).
+
+Entry points:
+
+* campaigns — ``run_campaign(..., runner=FleetRunner(workers=4))`` in
+  :mod:`repro.faults.campaign`;
+* multi-board sharding — :class:`repro.rtos.sharding.ShardedDtmKernel`
+  runs node-subset kernels in persistent shard workers
+  (:mod:`repro.fleet.shards`) synchronized at network-lookahead epochs;
+* scoreboard — ``benchmarks/perf_fleet.py`` (BENCH_fleet.json) tracks
+  campaign throughput, speedup and serial/parallel parity across PRs.
+"""
+
+from repro.fleet.jobs import (
+    JobResult,
+    JobSpec,
+    callable_ref,
+    enumerate_campaign_jobs,
+    resolve_ref,
+)
+from repro.fleet.merge import merge_results
+from repro.fleet.pool import (
+    FleetRunner,
+    SerialRunner,
+    default_workers,
+    derive_seed,
+    seed_stream,
+)
+from repro.fleet.worker import run_job, run_job_batch
+
+__all__ = [
+    "JobSpec", "JobResult", "callable_ref", "resolve_ref",
+    "enumerate_campaign_jobs",
+    "FleetRunner", "SerialRunner", "default_workers",
+    "derive_seed", "seed_stream",
+    "run_job", "run_job_batch",
+    "merge_results",
+]

@@ -1,0 +1,182 @@
+"""Process-pool dispatch: FleetRunner, the serial fallback, seed derivation.
+
+Runner contract — ``run(specs) -> results`` where ``results[i]`` answers
+``specs[i]`` (canonical order restored no matter which worker finished
+first). Both runners implement it identically, so every call site takes a
+``runner`` and stays oblivious to whether experiments fan out or not.
+
+Scheduling policy:
+
+* **workers** — default ``min(4, cpu_count)``; campaign jobs are pure
+  CPU, so oversubscribing a small container only adds context switches.
+* **chunking** — jobs move to workers in contiguous slices of
+  ``chunk_size`` (default: corpus split into ~4 chunks per worker, so
+  the tail stays balanced while per-chunk dispatch overhead is paid
+  rarely). Chunking is a transport detail: results carry their canonical
+  index and are re-ordered on the way back, so any chunk size produces
+  the same campaign.
+* **crash containment** — a worker that dies outright (segfault,
+  ``os._exit``) breaks the pool; every job that was in flight is retried
+  one-per-fresh-pool, and a job that kills its process twice comes back
+  as a structured ``worker-crash`` failure instead of hanging or
+  poisoning its chunk mates.
+
+:func:`derive_seed` is the deterministic seed expander for growing fault
+corpora: a stable 63-bit stream derived from ``(master_seed, *parts)``
+via SHA-256 — independent of process, chunk, hash randomization and
+Python version, so a campaign described by one master seed enumerates
+the same per-job seeds everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import sys
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import FleetError
+from repro.fleet.jobs import JobResult, JobSpec, default_mp_context
+from repro.fleet.worker import run_job, run_job_batch
+
+
+def derive_seed(master_seed: int, *parts: object) -> int:
+    """A stable 63-bit seed from a master seed and identity parts."""
+    text = repr((int(master_seed),) + tuple(str(p) for p in parts))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def seed_stream(master_seed: int, label: str, count: int) -> Tuple[int, ...]:
+    """*count* derived seeds for one fault kind / corpus label."""
+    if count < 0:
+        raise FleetError(f"seed count must be non-negative, got {count}")
+    return tuple(derive_seed(master_seed, label, i) for i in range(count))
+
+
+def default_workers() -> int:
+    """Worker-count policy: fill the small-machine cores, cap at 4."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _chunk(specs: Sequence[JobSpec], chunk_size: int) -> List[List[JobSpec]]:
+    return [list(specs[i:i + chunk_size])
+            for i in range(0, len(specs), chunk_size)]
+
+
+def _worker_init(extra_paths: List[str]) -> None:
+    """Spawned workers must see the same import roots as the parent."""
+    for path in reversed(extra_paths):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def _crash_result(spec: JobSpec) -> JobResult:
+    return JobResult(
+        spec.index, spec.job_id,
+        error={
+            "type": "WorkerCrashed",
+            "message": ("worker process died while running this job "
+                        "(hard exit or signal; no Python traceback)"),
+            "traceback": "",
+        },
+    )
+
+
+class SerialRunner:
+    """The in-process fallback: identical interface, zero processes.
+
+    Runs every job through the same :func:`~repro.fleet.worker.run_job`
+    the pool workers use — it *is* the parity baseline the parallel
+    runner is measured against.
+    """
+
+    workers = 1
+
+    def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        return [run_job(spec) for spec in specs]
+
+    def __repr__(self) -> str:
+        return "<SerialRunner>"
+
+
+class FleetRunner:
+    """Chunked campaign dispatch over a process pool."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 mp_context: Optional[str] = None) -> None:
+        if workers is not None and workers < 1:
+            raise FleetError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise FleetError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers if workers is not None else default_workers()
+        self.chunk_size = chunk_size
+        self.mp_context = (mp_context if mp_context is not None
+                           else default_mp_context())
+
+    def _chunk_size_for(self, total: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # ~4 chunks per worker: coarse enough to amortize dispatch,
+        # fine enough that one slow chunk cannot strand the tail.
+        return max(1, -(-total // (self.workers * 4)))
+
+    def _executor(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(self.mp_context),
+            initializer=_worker_init,
+            initargs=(list(sys.path),),
+        )
+
+    def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Run the corpus; results come back in canonical spec order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        by_index: dict = {}
+        stranded: List[JobSpec] = []
+
+        chunks = _chunk(specs, self._chunk_size_for(len(specs)))
+        try:
+            with self._executor(min(self.workers, len(chunks))) as pool:
+                futures = {pool.submit(run_job_batch, chunk): chunk
+                           for chunk in chunks}
+                for future in as_completed(futures):
+                    try:
+                        batch = future.result()
+                    except BrokenExecutor:
+                        stranded.extend(futures[future])
+                        continue
+                    for result in batch:
+                        by_index[result.index] = result
+        except BrokenExecutor:
+            # The pool died during shutdown; anything unaccounted for
+            # goes through the one-job-per-pool retry below.
+            pass
+        for spec in specs:
+            if spec.index not in by_index and spec not in stranded:
+                stranded.append(spec)
+
+        # Second chance, one job per fresh single-worker pool: the crasher
+        # is isolated and identified; its innocent chunk mates complete.
+        for spec in stranded:
+            try:
+                with self._executor(1) as pool:
+                    by_index[spec.index] = pool.submit(run_job, spec).result()
+            except BrokenExecutor:
+                by_index[spec.index] = _crash_result(spec)
+
+        missing = [spec.job_id for spec in specs if spec.index not in by_index]
+        if missing:
+            raise FleetError(f"runner lost {len(missing)} job result(s): "
+                             f"{missing[:5]}")
+        return [by_index[spec.index] for spec in specs]
+
+    def __repr__(self) -> str:
+        return (f"<FleetRunner workers={self.workers} "
+                f"chunk_size={self.chunk_size or 'auto'} "
+                f"ctx={self.mp_context}>")

@@ -1,0 +1,109 @@
+"""The worker process entry point: run one experiment, return one result.
+
+:func:`run_job` is the whole contract between the pool and a worker — a
+pure function from :class:`~repro.fleet.jobs.JobSpec` to
+:class:`~repro.fleet.jobs.JobResult`. It rebuilds the experiment from the
+spec's declarative refs and executes it through the *same* functions the
+inline campaign loop uses (:func:`~repro.faults.campaign.run_fault_experiment`
+and :func:`~repro.faults.campaign.run_control_experiment`), which is how
+parallel results stay equal to serial ones by construction rather than by
+testing luck.
+
+Worker-side exceptions never escape as pickled tracebacks-of-doom: they
+come back as structured failures (``JobResult.error``) carrying the
+exception type, message and formatted traceback, so a campaign can report
+*which* fault recipe blew up and keep going.
+
+Workers memoize the pristine firmware per ``(system_ref, plan)``: every
+implementation-fault job and the control job start from the same
+deterministic codegen output, so regenerating it per job is pure waste.
+The cache is per-process and read-only shared state (firmware images are
+never mutated after generation; fault injectors deep-copy first).
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Dict, List, Sequence, Tuple
+
+from repro.codegen.pipeline import generate_firmware
+from repro.faults.campaign import (
+    run_control_experiment,
+    run_fault_experiment,
+)
+from repro.fleet.jobs import JobResult, JobSpec, resolve_ref
+from repro.target.firmware import FirmwareImage
+
+#: per-process pristine-firmware memo: (system_ref, plan key) -> image
+_base_firmware_cache: Dict[Tuple[str, tuple], FirmwareImage] = {}
+
+
+def _plan_key(plan) -> tuple:
+    return (plan.state_enter, plan.signal_update, plan.transitions,
+            plan.task_markers, plan.self_loops)
+
+
+def _base_firmware(spec: JobSpec) -> FirmwareImage:
+    key = (spec.system_ref, _plan_key(spec.plan))
+    firmware = _base_firmware_cache.get(key)
+    if firmware is None:
+        system = resolve_ref(spec.system_ref)()
+        firmware = generate_firmware(system, spec.plan)
+        _base_firmware_cache[key] = firmware
+    return firmware
+
+
+def run_job(spec: JobSpec) -> JobResult:
+    """Execute one experiment; exceptions become structured failures."""
+    try:
+        return _execute(spec)
+    except Exception as exc:  # noqa: BLE001 - the whole point is capture
+        return JobResult(
+            spec.index, spec.job_id,
+            error={
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+            worker_pid=os.getpid(),
+        )
+
+
+def _execute(spec: JobSpec) -> JobResult:
+    system_factory = resolve_ref(spec.system_ref)
+    monitor_factory = resolve_ref(spec.monitor_ref)
+    watch_specs = resolve_ref(spec.watch_ref)()
+
+    if spec.category == "control":
+        detected, code_detected = run_control_experiment(
+            system_factory, monitor_factory, watch_specs,
+            spec.duration_us, spec.plan, base_firmware=_base_firmware(spec))
+        return JobResult(spec.index, spec.job_id,
+                         model=(detected, None, ""),
+                         code=(code_detected, None, ""),
+                         worker_pid=os.getpid())
+
+    base_firmware = (_base_firmware(spec)
+                     if spec.category == "implementation" else None)
+    outcome = run_fault_experiment(
+        system_factory, monitor_factory, watch_specs,
+        spec.category, spec.kind, spec.seed, spec.duration_us, spec.plan,
+        base_firmware=base_firmware)
+    if outcome is None:
+        return JobResult(spec.index, spec.job_id, declined=True,
+                         worker_pid=os.getpid())
+    return JobResult(
+        spec.index, spec.job_id, fault=outcome.fault,
+        model=(outcome.model_detected, outcome.model_latency_us,
+               outcome.model_how),
+        code=(outcome.code_detected, outcome.code_latency_us,
+              outcome.code_how),
+        classified_as=outcome.classified_as,
+        worker_pid=os.getpid(),
+    )
+
+
+def run_job_batch(specs: Sequence[JobSpec]) -> List[JobResult]:
+    """Chunked dispatch unit: run a slice of the corpus, in order."""
+    return [run_job(spec) for spec in specs]

@@ -19,7 +19,7 @@ Semantics per actor job:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.comdes.actor import Actor
 from repro.comdes.system import System
@@ -59,22 +59,51 @@ class DtmKernel:
         latched: bool = True,
         net_delay_us: int = 100,
         boards: Optional[Dict[str, Board]] = None,
+        nodes: Optional[Sequence[str]] = None,
+        record_capacity: Optional[int] = None,
     ) -> None:
+        """``nodes`` restricts this kernel to a shard: boards are built
+        and actor jobs dispatched only for the named nodes, while the
+        signal bus keeps views for the whole system (remote values
+        arrive via :meth:`SignalBus.inject` at epoch barriers — see
+        :mod:`repro.rtos.sharding`). ``record_capacity`` bounds
+        :attr:`records` to a ring of the newest N entries, mirroring
+        ``ExecutionTrace(capacity=N)``, with evictions counted in
+        :attr:`records_dropped`.
+        """
         self.system = system
         self.firmware = firmware
         self.sim = sim if sim is not None else Simulator()
         self.latched = latched
+        if nodes is None:
+            self.local_nodes = list(system.nodes())
+        else:
+            unknown = sorted(set(nodes) - set(system.nodes()))
+            if unknown:
+                raise SchedulerError(
+                    f"shard names nodes the system does not have: {unknown}")
+            self.local_nodes = list(nodes)
+        local = set(self.local_nodes)
         self._nodes: Dict[str, _NodeRuntime] = {}
-        for node in system.nodes():
+        for node in self.local_nodes:
             board = (boards or {}).get(node)
             self._nodes[node] = _NodeRuntime(self.sim, node, firmware, board)
         self.bus = SignalBus(self.sim, system.nodes(),
                              system.initial_board(), net_delay_us)
         self.jitter = JitterMeter()
-        self.records: List[JobRecord] = []
+        if record_capacity is not None and record_capacity <= 0:
+            raise SchedulerError(
+                f"record capacity must be positive, got {record_capacity}")
+        self.record_capacity = record_capacity
+        self._records: List[JobRecord] = []
+        self._records_head = 0
+        self.records_dropped = 0
         self.deadline_misses = 0
         self.jobs_skipped = 0
-        self._job_index: Dict[str, int] = {a: 0 for a in system.actors}
+        self._job_index: Dict[str, int] = {
+            name: 0 for name, actor in system.actors.items()
+            if actor.node in local
+        }
         self._load_tasks: List[LoadTask] = []
         self._started = False
 
@@ -105,6 +134,8 @@ class DtmKernel:
             raise SchedulerError("kernel already started")
         self._started = True
         for actor in self.system.actors.values():
+            if actor.node not in self._nodes:
+                continue  # another shard's actor
             self.sim.every(actor.task.period_us, self._release_actor, actor,
                            start=actor.task.offset_us)
         for load in self._load_tasks:
@@ -128,7 +159,7 @@ class DtmKernel:
 
         if runtime.board.stalled:
             self.jobs_skipped += 1
-            self.records.append(JobRecord(
+            self._append_record(JobRecord(
                 actor.name, index, now, None, deadline_abs, 0, skipped=True,
             ))
             return
@@ -165,7 +196,7 @@ class DtmKernel:
                          t_done: int) -> None:
         record = JobRecord(actor.name, index, release, t_done, deadline_abs,
                            demand_us)
-        self.records.append(record)
+        self._append_record(record)
         if record.missed:
             self.deadline_misses += 1
         if self.latched and not record.missed:
@@ -190,6 +221,26 @@ class DtmKernel:
         job = ActiveJob(load.name, load.priority, now,
                         now + load.period_us, load.demand_us)
         runtime.scheduler.release(job)
+
+    # -- records ------------------------------------------------------------
+
+    def _append_record(self, record: JobRecord) -> None:
+        """Append (overwriting the oldest when at capacity)."""
+        if (self.record_capacity is not None
+                and len(self._records) == self.record_capacity):
+            self._records[self._records_head] = record
+            self._records_head = (self._records_head + 1) % self.record_capacity
+            self.records_dropped += 1
+        else:
+            self._records.append(record)
+
+    @property
+    def records(self) -> List[JobRecord]:
+        """Job records, oldest first (the newest N in ring mode)."""
+        if self._records_head == 0:
+            return list(self._records)
+        return (self._records[self._records_head:]
+                + self._records[:self._records_head])
 
     # -- queries ------------------------------------------------------------
 

@@ -172,3 +172,74 @@ class TestBlockRead:
             tap.drive(1)
         assert tap.state is TapState.TEST_LOGIC_RESET
         assert tap.ir == int(Instruction.IDCODE)
+
+
+class TestBlockWrite:
+    def test_block_write_equals_per_word_writes(self):
+        board, probe = make_probe()
+        values = [(offset - 5) * 4321 for offset in range(10)]
+        probe.write_block_timed(RAM_BASE, values)
+        blocked = [board.memory.peek(RAM_BASE + offset) for offset in range(10)]
+        reference, ref_probe = make_probe()
+        for offset, value in enumerate(values):
+            ref_probe.write_word_timed(RAM_BASE + offset, value)
+        worded = [reference.memory.peek(RAM_BASE + offset)
+                  for offset in range(10)]
+        assert blocked == worded == values
+
+    def test_update_auto_increments_address(self):
+        board = Board()
+        tap = TapController(DebugPort(board))
+        probe = JtagProbe(tap)
+        probe.shift_ir(Instruction.MEMADDR)
+        probe.shift_dr(RAM_BASE, 32)
+        probe.shift_ir(Instruction.BLOCKWRITE)
+        probe.shift_dr(11, 32)
+        probe.shift_dr(22, 32)
+        assert tap._address == RAM_BASE + 2
+        assert board.memory.peek(RAM_BASE) == 11
+        assert board.memory.peek(RAM_BASE + 1) == 22
+
+    def test_memwrite_does_not_auto_increment(self):
+        board = Board()
+        tap = TapController(DebugPort(board))
+        probe = JtagProbe(tap)
+        probe.shift_ir(Instruction.MEMADDR)
+        probe.shift_dr(RAM_BASE, 32)
+        probe.shift_ir(Instruction.MEMWRITE)
+        probe.shift_dr(11, 32)
+        probe.shift_dr(22, 32)
+        assert tap._address == RAM_BASE
+        assert board.memory.peek(RAM_BASE) == 22
+
+    def test_out_of_range_words_dropped(self):
+        board, probe = make_probe()
+        last = RAM_BASE + len(board.memory) - 1
+        probe.write_block_timed(last, [7, 8])  # second word falls off RAM
+        assert board.memory.peek(last) == 7
+
+    def test_negative_values_roundtrip_signed(self):
+        board, probe = make_probe()
+        probe.write_block_timed(RAM_BASE, [-1, -1234])
+        assert board.memory.peek(RAM_BASE) == -1
+        assert board.memory.peek(RAM_BASE + 1) == -1234
+
+    def test_one_usb_transaction_per_block(self):
+        transport = UsbTransport()
+        _, probe = make_probe(transport=transport)
+        probe.write_block_timed(RAM_BASE, list(range(32)))
+        assert transport.transactions == 1
+
+    def test_block_write_fewer_tck_cycles_than_word_writes(self):
+        _, block_probe = make_probe()
+        block_probe.write_block_timed(RAM_BASE, list(range(16)))
+        block_clocks = block_probe.tap.tck_count
+        _, word_probe = make_probe()
+        for offset in range(16):
+            word_probe.write_word_timed(RAM_BASE + offset, offset)
+        assert block_clocks < word_probe.tap.tck_count / 2
+
+    def test_empty_block_rejected(self):
+        _, probe = make_probe()
+        with pytest.raises(JtagError):
+            probe.write_block_timed(RAM_BASE, [])

@@ -134,3 +134,29 @@ class TestCampaign:
                                                      "implementation"}
         for row in rows:
             assert 0.0 <= row["model_rate"] <= 1.0
+
+    def test_detections_carry_oracle_verdicts(self, result):
+        for outcome in result.outcomes:
+            if outcome.model_detected:
+                assert outcome.classified_as in ("design", "implementation",
+                                                 "consistent")
+            else:
+                assert outcome.classified_as == ""
+
+    def test_classification_accuracy_on_clear_cut_faults(self):
+        # wrong_target is a pure model bug; inverted_branch a pure code
+        # bug — the differential oracle must call both correctly.
+        result = run_campaign(
+            traffic_light_system,
+            traffic_light_monitor_suite,
+            traffic_light_code_watches(),
+            design_kinds=("wrong_target",),
+            impl_kinds=("inverted_branch",),
+            seeds=(1,),
+            duration_us=sec(4),
+        )
+        verdicts = {o.fault.category: o.classified_as
+                    for o in result.outcomes if o.model_detected}
+        assert verdicts.get("design") == "design"
+        assert verdicts.get("implementation") == "implementation"
+        assert result.classification_accuracy() == 1.0

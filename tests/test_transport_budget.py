@@ -1,0 +1,78 @@
+"""Tests for per-session transport budgets over DebugLink accounting."""
+
+import pytest
+
+from repro.comdes.examples import traffic_light_system
+from repro.engine.session import DebugSession, TransportBudget
+from repro.errors import BudgetExceededError, DebuggerError
+from repro.util.timeunits import ms
+
+
+def passive_session(budget=None):
+    return DebugSession(traffic_light_system(), channel_kind="passive",
+                        poll_period_us=500, budget=budget).setup()
+
+
+class TestTransportBudget:
+    def test_negative_ceiling_rejected(self):
+        with pytest.raises(DebuggerError):
+            TransportBudget(max_transactions=-1)
+
+    def test_no_ceilings_never_violates(self):
+        budget = TransportBudget()
+        assert budget.violations({"transactions": 10**9,
+                                  "cost_us_total": 10**9}) == []
+
+    def test_violation_strings_name_the_ceiling(self):
+        budget = TransportBudget(max_transactions=5, max_cost_us=100)
+        found = budget.violations({"transactions": 7, "cost_us_total": 250})
+        assert len(found) == 2
+        assert "7 transactions > budget 5" in found[0]
+        assert "250us" in found[1]
+
+
+class TestSessionBudget:
+    def test_stats_aggregate_across_node_links(self):
+        session = passive_session()
+        session.run(ms(20))
+        stats = session.transport_stats()
+        assert stats["links"] == 1
+        # One scatter-read transaction per poll at 500us period (plus
+        # the priming poll at start()).
+        assert stats["transactions"] == ms(20) // 500 + 1
+        assert stats["words_read"] > 0
+        assert stats["cost_us_total"] > 0
+
+    def test_generous_budget_passes(self):
+        session = passive_session(TransportBudget(max_transactions=10_000))
+        session.run(ms(20))
+        assert not session.budget_failed
+        assert session.budget_violations() == []
+
+    def test_transaction_ceiling_fails_the_experiment(self):
+        session = passive_session(TransportBudget(max_transactions=10))
+        with pytest.raises(BudgetExceededError) as err:
+            session.run(ms(20))
+        assert session.budget_failed
+        assert err.value.stats["transactions"] > 10
+        assert any("transactions" in v for v in err.value.violations)
+
+    def test_cost_ceiling_fails_the_experiment(self):
+        session = passive_session(TransportBudget(max_cost_us=500))
+        with pytest.raises(BudgetExceededError):
+            session.run(ms(20))
+        assert session.budget_failed
+
+    def test_active_channel_budget_counts_frames(self):
+        session = DebugSession(traffic_light_system(), channel_kind="active",
+                               budget=TransportBudget(max_cost_us=0)).setup()
+        with pytest.raises(BudgetExceededError) as err:
+            session.run(ms(1000))  # several state changes' worth of frames
+        assert err.value.stats["frames_carried"] > 0
+
+    def test_budget_checked_per_run_not_per_setup(self):
+        session = passive_session(TransportBudget(max_transactions=25))
+        session.run(ms(10))  # 20 polls: inside budget
+        assert not session.budget_failed
+        with pytest.raises(BudgetExceededError):
+            session.run_for(ms(10))  # cumulative books cross the ceiling
