@@ -44,6 +44,10 @@ class DebugLink:
     kind = "abstract"
 
     def __init__(self) -> None:
+        #: attribution channel this link's traffic is booked under in
+        #: per-channel budget accounting ("passive", "active", "inspect",
+        #: ...); defaults to the transport kind until a layer claims it.
+        self.label = type(self).kind
         self.transactions = 0
         self.words_read = 0
         self.words_written = 0
@@ -102,6 +106,7 @@ class DebugLink:
         """Accounting snapshot: transactions, words, frames, total cost."""
         return {
             "kind": self.kind,
+            "label": self.label,
             "transactions": self.transactions,
             "words_read": self.words_read,
             "words_written": self.words_written,

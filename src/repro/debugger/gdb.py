@@ -54,7 +54,13 @@ class SourceDebugger:
                  link: Optional[DebugLink] = None) -> None:
         self.board = board
         self.firmware = firmware
-        self.link = link if link is not None else DirectLink(board)
+        if link is None:
+            link = DirectLink(board)
+        # Inspection traffic is its own budget-attribution channel; a
+        # caller-provided link keeps whatever label its layer assigned.
+        if link.label == type(link).kind:
+            link.label = "inspect"
+        self.link = link
         self.watchpoints: List[Watchpoint] = []
         self.hits: List[WatchHit] = []
         self._shadow: dict = {}

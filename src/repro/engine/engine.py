@@ -39,14 +39,34 @@ class DebuggerEngine:
     def __init__(self, gdm: GdmModel,
                  channel: Optional[DebugChannel] = None,
                  capture_frames: bool = True,
-                 max_frames: Optional[int] = 10_000) -> None:
+                 max_frames: Optional[int] = 10_000,
+                 trace: Optional[ExecutionTrace] = None) -> None:
+        """``trace`` substitutes a pre-configured trace — typically a
+        spilling ring, ``ExecutionTrace(capacity=N, spill=TraceStore(...))``
+        — for the default unbounded one. When the spill store asks for
+        checkpoints (``checkpoint_every``), the engine captures the
+        model's dynamic state at those seqs while recording, so seeks
+        over the stored history are cheap from the moment the run ends.
+        """
         self.gdm = gdm
         self.channel: Optional[DebugChannel] = None
         self.state = EngineState.DISCONNECTED
         self.bus = EventBus()
-        self.trace = ExecutionTrace()
+        self.trace = trace if trace is not None else ExecutionTrace()
         self.breakpoints = BreakpointManager()
         self.frames = FrameSequence(max_frames=max_frames) if capture_frames else None
+        # Live checkpoints assert "this model state == replay of events
+        # [0, seq]". That only holds if every stored event passed through
+        # THIS engine's model — i.e. both the store and the trace were
+        # empty when this engine took over. An engine over a resumed
+        # store, or handed an already-populated trace, never saw the
+        # earlier events; its snapshots would lie to seek, so those
+        # histories checkpoint offline instead.
+        spill = getattr(self.trace, "spill", None)
+        self._live_checkpoints = (
+            spill is not None
+            and getattr(spill, "next_seq", 0) == 0
+            and len(self.trace) == 0)
         self.commands_processed = 0
         self.commands_while_paused = 0
         #: used by StepController: halt again after N commands (None = free run)
@@ -95,6 +115,15 @@ class DebuggerEngine:
         event = self.trace.record(command, reactions, self.state.name)
         self.commands_processed += 1
         self.bus.publish("command", command=command, event=event)
+
+        # Live checkpointing: while spilling to a store that wants them,
+        # persist the model state so post-run seeks start near their
+        # target instead of replaying from zero.
+        if self._live_checkpoints:
+            spill = self.trace.spill
+            if spill.wants_checkpoint(event.seq):
+                spill.add_checkpoint(event.seq, command.t_host,
+                                     self.gdm.dynamic_state())
 
         if self.frames is not None and reactions:
             self.frames.capture(command.t_host,

@@ -4,14 +4,29 @@
 associated with a timing diagram." Replay re-animates the debug model from
 a recorded trace — no target needed — with seek and speed control. It is a
 pure function of the trace: replaying twice yields identical frames.
+
+The player accepts anything trace-shaped: a live
+:class:`~repro.engine.trace.ExecutionTrace` or a
+:class:`~repro.tracedb.store.StoredTrace` view over a spill store, which
+replays an arbitrarily long on-disk history at flat memory. Replaying a
+ring-*truncated* trace (events evicted, no spill) raises
+:class:`~repro.errors.TruncatedTraceError` — animating from a mid-history
+event while pretending it is the beginning is a lie; pass
+``allow_truncated=True`` to accept the surviving window with a warning.
+
+Seek is checkpoint-accelerated when the trace offers checkpoints
+(``nearest_checkpoint``): the model restores the nearest stored snapshot
+and steps only the tail, which is O(checkpoint interval) instead of
+O(position) and bit-identical to linear replay at every event boundary.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 from repro.engine.trace import ExecutionTrace, TraceEvent
-from repro.errors import DebuggerError
+from repro.errors import DebuggerError, TruncatedTraceError
 from repro.gdm.model import GdmModel
 from repro.gdm.reactions import ReactionKind, decay_pulses
 from repro.render.animation import FrameSequence
@@ -20,15 +35,51 @@ from repro.render.animation import FrameSequence
 class ReplayPlayer:
     """Replays a recorded trace onto a debug model."""
 
-    def __init__(self, trace: ExecutionTrace, gdm: GdmModel) -> None:
+    def __init__(self, trace: ExecutionTrace, gdm: GdmModel,
+                 allow_truncated: bool = False,
+                 capture_frames: bool = True) -> None:
+        """``capture_frames=False`` replays state without recording
+        animation frames — O(1) memory for state-only passes over long
+        histories (offline checkpoint builds, end-state assertions)."""
         self.trace = trace
         self.gdm = gdm
+        self.allow_truncated = allow_truncated
         self.position = 0
         self.frames = FrameSequence()
         self._active = False
+        self.capture_frames = capture_frames
+        self._capture_frames = capture_frames  # also cleared during seek tails
 
     def start(self) -> None:
-        """Reset the model's dynamic state and rewind."""
+        """Reset the model's dynamic state and rewind.
+
+        Refuses (or warns, with ``allow_truncated=True``) when the trace
+        is a partial window of a longer history — a ring that evicted
+        events into the void (``dropped > 0``), or the in-memory cache
+        of a spilling ring replayed directly instead of through
+        ``full_history()`` (first surviving seq != 0). Sequence numbers
+        tell the truth about the gap, so replay must too.
+        """
+        dropped = getattr(self.trace, "dropped", 0)
+        # Prefer the O(1) attribute — indexing a StoredTrace here would
+        # decode segment 0 on every seek just to learn it starts at 0.
+        first_seq = getattr(self.trace, "first_seq", None)
+        if first_seq is None:
+            first_seq = self.trace[0].seq if len(self.trace) else 0
+        missing = dropped or first_seq
+        if missing:
+            if not self.allow_truncated:
+                # "the history is in the spill store" is only true advice
+                # when there IS one (a deserialized ring window has
+                # first_seq != 0 and dropped == 0 but nothing on disk)
+                spilled = getattr(self.trace, "spill", None) is not None
+                raise TruncatedTraceError(missing, len(self.trace),
+                                          spilled=spilled)
+            warnings.warn(
+                f"replaying a truncated trace window: {missing} event(s) "
+                f"precede the {len(self.trace)} surviving one(s); replay "
+                f"starts mid-history",
+                stacklevel=2)
         self.gdm.reset_styles()
         self.position = 0
         self.frames = FrameSequence()
@@ -66,9 +117,10 @@ class ReplayPlayer:
         self.position += 1
         decay_pulses(self.gdm)  # same one-step pulse semantics as the engine
         self._apply_event(event)
-        self.frames.capture(event.command.t_host,
-                            f"replay {event.command.kind.name} {event.command.path}",
-                            self.gdm.styles_snapshot())
+        if self._capture_frames:
+            self.frames.capture(event.command.t_host,
+                                f"replay {event.command.kind.name} {event.command.path}",
+                                self.gdm.styles_snapshot())
         return event
 
     def run_to_end(self) -> int:
@@ -78,15 +130,74 @@ class ReplayPlayer:
             replayed += 1
         return replayed
 
-    def seek(self, position: int) -> None:
-        """Rebuild model state as of trace index *position* (exclusive)."""
+    def seek(self, position: int, use_checkpoints: bool = True) -> int:
+        """Rebuild model state as of trace index *position* (exclusive).
+
+        When the trace carries checkpoints, the nearest one at or before
+        ``position - 1`` is restored and only the tail is stepped —
+        identical end state to linear replay, without the O(position)
+        walk. Returns the number of events actually applied (the tail
+        length; equals *position* for a linear seek).
+
+        After a seek, :attr:`frames` is empty on every path (frames are
+        a record of *stepped* events, and a checkpointed seek steps only
+        the tail) — step or :meth:`run_to_end` from here to capture the
+        animation onward.
+        """
         if not (0 <= position <= len(self.trace)):
             raise DebuggerError(
                 f"seek position {position} outside 0..{len(self.trace)}"
             )
         self.start()
-        while self.position < position:
-            self.step()
+        if use_checkpoints and position > 0:
+            finder = getattr(self.trace, "nearest_checkpoint", None)
+            if finder is not None:
+                checkpoint = finder(position - 1)
+                # Stores are contiguous and 0-based, so seq == index; the
+                # guard keeps an exotic trace from silently mis-seeking.
+                if (checkpoint is not None
+                        and self.trace[checkpoint.seq].seq == checkpoint.seq):
+                    self.gdm.restore_dynamic_state(checkpoint.payload)
+                    self.position = checkpoint.seq + 1
+        # Both seek paths land in the same observable state: the frame
+        # record restarts at the seek point (a checkpointed seek never
+        # saw the prefix, so keeping the linear path's prefix frames
+        # would make output depend on checkpoint availability). Capture
+        # is suppressed while stepping the tail — the snapshots would be
+        # discarded anyway, and copying them dominates seek cost.
+        applied = 0
+        self._capture_frames = False
+        try:
+            while self.position < position:
+                self.step()
+                applied += 1
+        finally:
+            self._capture_frames = self.capture_frames
+        self.frames = FrameSequence()
+        return applied
+
+    def seek_time(self, t_us: int, use_checkpoints: bool = True) -> int:
+        """Rebuild model state as of host time *t_us* (inclusive).
+
+        Seeks past every event with ``t_host <= t_us`` — binary search
+        over the host timestamps, then a checkpointed seek. Returns the
+        number of events applied.
+
+        Requires non-decreasing ``t_host``, which holds for every trace
+        recorded by one engine (events are traced in arrival order). A
+        *merged campaign store* interleaves per-job clocks that each
+        restart near zero and does not satisfy it — address those per
+        job instead (``store.events(seq_range=...)`` within one
+        ``job_index``).
+        """
+        lo, hi = 0, len(self.trace)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.trace[mid].command.t_host <= t_us:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.seek(lo, use_checkpoints=use_checkpoints)
 
     def highlighted_paths(self) -> List[str]:
         """Source paths of currently highlighted elements (assert helper)."""

@@ -17,6 +17,7 @@ keeps the numbered workflow log as the Fig 6 artifact.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.codegen.instrument import InstrumentationPlan
@@ -101,16 +102,24 @@ class TransportBudget:
     * ``max_cost_us`` — total modeled transport time, the budget that
       keeps a "passive" observation plan honest about bus occupancy.
 
+    ``per_channel`` attaches sub-budgets keyed by link attribution label
+    (``"passive"``, ``"active"``, ``"inspect"``) so a plan can, say, cap
+    the active command stream without starving passive polling. Every
+    violation string names the offending channel; global violations name
+    the busiest channel when a per-channel breakdown is available.
+
     A session with a budget fails its experiment the moment a run ends
     over the ceiling (:class:`~repro.errors.BudgetExceededError`), which
     is how campaign-scale sweeps reject observation plans too expensive
     to deploy rather than silently reporting their detections.
     """
 
-    __slots__ = ("max_transactions", "max_cost_us")
+    __slots__ = ("max_transactions", "max_cost_us", "per_channel")
 
     def __init__(self, max_transactions: Optional[int] = None,
-                 max_cost_us: Optional[int] = None) -> None:
+                 max_cost_us: Optional[int] = None,
+                 per_channel: Optional[Dict[str, "TransportBudget"]] = None
+                 ) -> None:
         for name, value in (("max_transactions", max_transactions),
                             ("max_cost_us", max_cost_us)):
             if value is not None and value < 0:
@@ -118,23 +127,49 @@ class TransportBudget:
                                     f"got {value}")
         self.max_transactions = max_transactions
         self.max_cost_us = max_cost_us
+        self.per_channel = dict(per_channel) if per_channel else {}
+        for label, sub in self.per_channel.items():
+            if sub.per_channel:
+                # a channel stats row carries no further breakdown, so a
+                # nested sub-budget could never fire — dead silently
+                raise DebuggerError(
+                    f"per-channel budget for {label!r} has its own "
+                    f"per_channel; channel budgets do not nest")
 
-    def violations(self, stats: Dict[str, int]) -> List[str]:
+    @staticmethod
+    def _busiest(stats: Dict[str, object], metric: str) -> str:
+        """Name the channel dominating *metric* ('' without breakdown)."""
+        channels = stats.get("channels")
+        if not channels:
+            return ""
+        label, row = max(channels.items(), key=lambda kv: kv[1][metric])
+        return f" (busiest channel: {label}, {row[metric]})"
+
+    def violations(self, stats: Dict[str, object]) -> List[str]:
         """Ceilings exceeded by an aggregated stats snapshot."""
         found = []
         if (self.max_transactions is not None
                 and stats["transactions"] > self.max_transactions):
             found.append(f"{stats['transactions']} transactions > "
-                         f"budget {self.max_transactions}")
+                         f"budget {self.max_transactions}"
+                         + self._busiest(stats, "transactions"))
         if (self.max_cost_us is not None
                 and stats["cost_us_total"] > self.max_cost_us):
             found.append(f"{stats['cost_us_total']}us transport cost > "
-                         f"budget {self.max_cost_us}us")
+                         f"budget {self.max_cost_us}us"
+                         + self._busiest(stats, "cost_us_total"))
+        for label in sorted(self.per_channel):
+            row = stats.get("channels", {}).get(label)
+            if row is None:
+                continue
+            found.extend(f"channel '{label}': {violation}"
+                         for violation in self.per_channel[label].violations(row))
         return found
 
     def __repr__(self) -> str:
         return (f"<TransportBudget txn<={self.max_transactions} "
-                f"cost<={self.max_cost_us}us>")
+                f"cost<={self.max_cost_us}us "
+                f"channels={sorted(self.per_channel) or '-'}>")
 
 
 class DebugSession:
@@ -147,7 +182,18 @@ class DebugSession:
                  latched: bool = True, net_delay_us: int = 100,
                  baud: int = 115200, poll_period_us: int = 500,
                  tck_hz: int = 4_000_000,
-                 budget: Optional[TransportBudget] = None) -> None:
+                 budget: Optional[TransportBudget] = None,
+                 trace_capacity: Optional[int] = None,
+                 trace_spill: Optional[object] = None) -> None:
+        """``trace_capacity``/``trace_spill`` configure the engine's
+        execution trace: a bounded ring, and/or a
+        :class:`~repro.tracedb.store.TraceStore` the ring spills into so
+        arbitrarily long sessions keep their full history replayable at
+        flat memory (the store's ``checkpoint_every`` additionally turns
+        on live seek checkpoints). A spilling session defaults its ring
+        to :data:`DEFAULT_SPILL_CACHE_EVENTS` — spilling with an
+        unbounded in-memory copy would defeat the flat-memory point.
+        """
         if channel_kind not in self.CHANNEL_KINDS:
             raise DebuggerError(
                 f"channel_kind must be one of {self.CHANNEL_KINDS}, "
@@ -167,6 +213,8 @@ class DebugSession:
         self.baud = baud
         self.poll_period_us = poll_period_us
         self.tck_hz = tck_hz
+        self.trace_capacity = trace_capacity
+        self.trace_spill = trace_spill
 
         self.sim = Simulator()
         self.registry = MetamodelRegistry()
@@ -183,10 +231,13 @@ class DebugSession:
         self.probes: Dict[str, JtagProbe] = {}
         #: one DebugLink per node — the transport every debug byte crosses
         self.links: Dict[str, DebugLink] = {}
+        #: extra budgeted links registered via :meth:`add_debug_link`
+        self._extra_links: List[DebugLink] = []
         #: optional transport ceilings; checked after every run
         self.budget = budget
         #: set once a run ends over budget (the experiment is failed)
         self.budget_failed = False
+        self._warned_absent_channels: set = set()
 
     def _log(self, step: int, message: str) -> None:
         self.workflow_log.append(f"[{step}] {message}")
@@ -258,6 +309,7 @@ class DebugSession:
             if self.channel_kind == "active":
                 channel = ActiveChannel(self.sim, board, self.firmware,
                                         link=Rs232Link(self.baud))
+                channel.debug_link.label = "active"
                 self.links[node] = channel.debug_link
                 self.kernel.add_job_hook(
                     node,
@@ -270,6 +322,7 @@ class DebugSession:
                                   transport=UsbTransport())
                 self.probes[node] = probe
                 link = JtagLink(probe)
+                link.label = "passive"
                 self.links[node] = link
                 watches = default_watches(self.system, node)
                 if watches:
@@ -281,7 +334,18 @@ class DebugSession:
                     channel.start()
                     composite.add(channel)
         self.channel = composite
-        self.engine = DebuggerEngine(self.gdm, channel=composite)
+        trace = None
+        if self.trace_capacity is not None or self.trace_spill is not None:
+            from repro.engine.trace import ExecutionTrace
+            capacity = self.trace_capacity
+            if capacity is None:
+                # spill without a ring would keep an unbounded in-memory
+                # duplicate of the on-disk history (deferred import: a
+                # plain bounded-ring session never loads tracedb)
+                from repro.tracedb.store import DEFAULT_SPILL_CACHE_EVENTS
+                capacity = DEFAULT_SPILL_CACHE_EVENTS
+            trace = ExecutionTrace(capacity=capacity, spill=self.trace_spill)
+        self.engine = DebuggerEngine(self.gdm, channel=composite, trace=trace)
         self.stepper = StepController(self.engine)
         self._log(5, (
             f"GDM created and {self.channel_kind} communication established "
@@ -325,16 +389,48 @@ class DebugSession:
 
     # -- transport accounting ----------------------------------------------
 
-    def transport_stats(self) -> Dict[str, int]:
-        """Session-wide :meth:`DebugLink.stats` aggregate over all nodes."""
-        totals = {"transactions": 0, "words_read": 0, "words_written": 0,
-                  "frames_carried": 0, "cost_us_total": 0}
-        for link in self.links.values():
+    def transport_stats(self) -> Dict[str, object]:
+        """Session-wide :meth:`DebugLink.stats` aggregate over all nodes.
+
+        Top-level keys are the cross-channel totals (what global budget
+        ceilings are written against); ``"channels"`` breaks the same
+        counters down per attribution label — ``passive`` (JTAG poll
+        plane), ``active`` (RS-232 command stream), ``inspect``
+        (source-debugger reads registered via :meth:`add_debug_link`).
+        """
+        counters = ("transactions", "words_read", "words_written",
+                    "frames_carried", "cost_us_total")
+        totals: Dict[str, object] = {key: 0 for key in counters}
+        channels: Dict[str, Dict[str, int]] = {}
+        for link in self._all_links():
             stats = link.stats()
-            for key in totals:
+            row = channels.setdefault(
+                stats["label"], {key: 0 for key in counters} | {"links": 0})
+            row["links"] += 1
+            for key in counters:
                 totals[key] += stats[key]
-        totals["links"] = len(self.links)
+                row[key] += stats[key]
+        totals["links"] = sum(row["links"] for row in channels.values())
+        totals["channels"] = channels
         return totals
+
+    def _all_links(self) -> List[DebugLink]:
+        """Every budgeted link: per-node channels + registered extras."""
+        return list(self.links.values()) + self._extra_links
+
+    def add_debug_link(self, link: DebugLink, label: str = "") -> DebugLink:
+        """Register an extra link (e.g. a source debugger's inspect link)
+        under the session's transport accounting and budget.
+
+        Idempotent: re-registering a link already tracked (including a
+        per-node channel link, to relabel it) never double-books its
+        transactions.
+        """
+        if label:
+            link.label = label
+        if not any(link is tracked for tracked in self._all_links()):
+            self._extra_links.append(link)
+        return link
 
     def budget_violations(self) -> List[str]:
         """Current ceilings exceeded (empty without a budget)."""
@@ -343,10 +439,29 @@ class DebugSession:
         return self.budget.violations(self.transport_stats())
 
     def _check_budget(self) -> None:
-        violations = self.budget_violations()
+        if self.budget is None:
+            return
+        stats = self.transport_stats()
+        # A per-channel budget whose label no session link carries can
+        # never fire — legitimate for a shared budget template (no
+        # active channel on a passive session), but also exactly what a
+        # typo looks like. Warn once per label, re-evaluating each check
+        # so links registered later (add_debug_link) lift the condition
+        # and labels added later still get reported.
+        absent = (set(self.budget.per_channel) - set(stats["channels"])
+                  - self._warned_absent_channels)
+        if absent:
+            self._warned_absent_channels |= absent
+            warnings.warn(
+                f"per-channel budget(s) for {sorted(absent)} currently "
+                f"match no link label in this session (present: "
+                f"{sorted(stats['channels']) or 'none'}); they cannot be "
+                f"enforced unless such a link is registered — check for "
+                f"typos", stacklevel=3)
+        violations = self.budget.violations(stats)
         if violations:
             self.budget_failed = True
-            raise BudgetExceededError(violations, self.transport_stats())
+            raise BudgetExceededError(violations, stats)
 
     # -- views --------------------------------------------------------------
 

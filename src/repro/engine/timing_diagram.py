@@ -3,6 +3,12 @@
 One lane per source path: state lanes show which state was active when
 (intervals between STATE_ENTER events of a group); signal lanes show value
 changes. Rendered as ASCII (terminal) and SVG (artifact files).
+
+Any trace-shaped source works: a live
+:class:`~repro.engine.trace.ExecutionTrace` or a
+:class:`~repro.tracedb.store.StoredTrace` over a spill store
+(:meth:`TimingDiagram.from_store`) — lanes are built in one streaming
+pass, so plotting a multi-gigabyte stored history never materializes it.
 """
 
 from __future__ import annotations
@@ -49,6 +55,13 @@ class TimingDiagram:
         self.t1 = trace[len(trace) - 1].command.t_host
         self.lanes: Dict[str, Lane] = {}
         self._build()
+
+    @classmethod
+    def from_store(cls, store) -> "TimingDiagram":
+        """Build a diagram straight from a :class:`~repro.tracedb.store.
+        TraceStore` (full on-disk history, flat memory)."""
+        from repro.tracedb.store import StoredTrace
+        return cls(StoredTrace(store))
 
     def _lane(self, name: str) -> Lane:
         if name not in self.lanes:

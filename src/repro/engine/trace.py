@@ -13,6 +13,17 @@ campaigns pass ``capacity=N``: the trace becomes a ring buffer keeping the
 newest N events, counting what it evicted in ``dropped`` — memory stays
 flat while sequence numbers keep telling the truth about how much history
 existed.
+
+Pass ``spill=TraceStore(...)`` alongside a capacity and eviction stops
+destroying history: every event is persisted to the store the moment it
+is recorded, the ring becomes a hot in-memory cache of the newest N
+events over the store, and ``dropped`` stays 0 — evicting now only
+discards the cached copy, the authoritative copy is already on disk.
+:meth:`full_history` then hands back a trace-shaped view of the store
+for full replay at flat memory. (Spilling *without* a capacity is
+allowed but keeps the whole history in memory too — the higher layers
+that promise flat memory, ``DebugSession`` and ``DtmKernel``, default a
+bounded cache when a spill store is attached.)
 """
 
 from __future__ import annotations
@@ -75,27 +86,67 @@ class ExecutionTrace:
     quadratic.
     """
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(self, capacity: Optional[int] = None,
+                 spill: Optional[object] = None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
+        #: optional TraceStore receiving every event (ring becomes a cache)
+        self.spill = spill
         self._events: List[TraceEvent] = []
         self._head = 0  # index of the oldest event once the ring wrapped
         self.dropped = 0
-        self._seq = 0
+        # A trace over a resumed (reattached) store continues the store's
+        # seq line — its appends must land at store.next_seq, not 0.
+        self._seq = getattr(spill, "next_seq", 0) if spill is not None else 0
 
     def record(self, command: Command, reactions: Sequence[ReactionRecord],
                engine_state: str) -> TraceEvent:
-        """Append an event (overwriting the oldest when at capacity)."""
+        """Append an event (overwriting the oldest when at capacity).
+
+        With a spill store attached the event is persisted first, so the
+        later ring eviction only drops the in-memory cached copy and
+        ``dropped`` stays 0 — no history is lost.
+        """
         event = TraceEvent(self._seq, command, reactions, engine_state)
         self._seq += 1
+        if self.spill is not None:
+            self.spill.append(event.to_dict())
         if self.capacity is not None and len(self._events) == self.capacity:
             self._events[self._head] = event
             self._head = (self._head + 1) % self.capacity
-            self.dropped += 1
+            if self.spill is None:
+                self.dropped += 1
         else:
             self._events.append(event)
         return event
+
+    def full_history(self):
+        """The complete trace: this object, or a store-backed view.
+
+        Without a spill store the trace *is* its own full history (and a
+        truncated ring honestly is not — replay guards on ``dropped``).
+        With one, returns a :class:`~repro.tracedb.store.StoredTrace`
+        reading every event ever recorded, at flat memory.
+        """
+        if self.spill is None:
+            return self
+        self.spill.flush()
+        from repro.tracedb.store import StoredTrace
+        return StoredTrace(self.spill)
+
+    @property
+    def first_seq(self) -> int:
+        """Seq of the oldest surviving event — O(1).
+
+        Empty traces report the *next* seq: 0 for a fresh trace, but
+        nonzero for a trace resuming a populated spill store — so the
+        replay truncation guard still fires instead of presenting a
+        500-event store as an empty history.
+        """
+        if not self._events:
+            return self._seq
+        return self._events[self._head].seq
 
     def __len__(self) -> int:
         return len(self._events)

@@ -13,11 +13,16 @@ code-level baseline) against each faulty variant and scores detection.
 
 from repro.faults.design import DESIGN_FAULT_KINDS, FaultDescriptor, inject_design_fault
 from repro.faults.implementation import IMPL_FAULT_KINDS, inject_implementation_fault
-from repro.faults.campaign import CampaignResult, FaultOutcome, run_campaign
+from repro.faults.campaign import (
+    CampaignResult,
+    FaultOutcome,
+    campaign_seeds,
+    run_campaign,
+)
 
 __all__ = [
     "FaultDescriptor",
     "DESIGN_FAULT_KINDS", "inject_design_fault",
     "IMPL_FAULT_KINDS", "inject_implementation_fault",
-    "FaultOutcome", "CampaignResult", "run_campaign",
+    "FaultOutcome", "CampaignResult", "campaign_seeds", "run_campaign",
 ]

@@ -29,6 +29,7 @@ from repro.comm.rs232 import Rs232Link
 from repro.debugger.gdb import SourceDebugger
 from repro.engine.checks import MonitorSuite
 from repro.engine.engine import DebuggerEngine
+from repro.engine.trace import ExecutionTrace
 from repro.errors import FleetError, TargetFault
 from repro.faults.design import DESIGN_FAULT_KINDS, FaultDescriptor, inject_design_fault
 from repro.faults.implementation import (
@@ -102,6 +103,8 @@ class CampaignResult:
         self.outcomes = list(outcomes)
         self.false_positives = false_positives
         self.failures: List[object] = []
+        #: merged campaign TraceStore when the run collected traces
+        self.trace_store = None
 
     def of_category(self, category: str) -> List[FaultOutcome]:
         """Outcomes of one fault category."""
@@ -173,9 +176,17 @@ def _patch_boards(kernel: DtmKernel, system: System,
 def _run_model_debugger(system: System, firmware: FirmwareImage,
                         monitor_factory: Callable[[], MonitorSuite],
                         duration_us: int,
-                        memory_patches: MemoryPatches = ()
+                        memory_patches: MemoryPatches = (),
+                        trace_store: Optional[object] = None
                         ) -> Tuple[bool, Optional[int], str]:
-    """Run GMDF over the faulty target; returns (detected, latency, how)."""
+    """Run GMDF over the faulty target; returns (detected, latency, how).
+
+    With ``trace_store`` the engine records through a spilling ring
+    (``ExecutionTrace`` with the shared
+    :data:`~repro.tracedb.store.DEFAULT_SPILL_CACHE_EVENTS` hot cache):
+    the full model-level execution trace lands on disk for post-campaign
+    replay while the in-memory footprint stays flat.
+    """
     sim = Simulator()
     kernel = DtmKernel(system, firmware, sim=sim, latched=True)
     if memory_patches:
@@ -188,7 +199,14 @@ def _run_model_debugger(system: System, firmware: FirmwareImage,
         composite.add(channel)
     model = system_to_model(system)
     gdm = AbstractionEngine(default_comdes_table(model.metamodel)).build(model)
-    engine = DebuggerEngine(gdm, channel=composite, capture_frames=False)
+    if trace_store is not None:
+        from repro.tracedb.store import DEFAULT_SPILL_CACHE_EVENTS
+        trace = ExecutionTrace(capacity=DEFAULT_SPILL_CACHE_EVENTS,
+                               spill=trace_store)
+    else:
+        trace = None
+    engine = DebuggerEngine(gdm, channel=composite, capture_frames=False,
+                            trace=trace)
     suite = monitor_factory()
     suite.attach(engine)
     try:
@@ -238,16 +256,19 @@ def run_control_experiment(
     duration_us: int,
     plan: InstrumentationPlan,
     base_firmware: Optional[FirmwareImage] = None,
+    trace_store: Optional[object] = None,
 ) -> Tuple[bool, bool]:
     """Fault-free run under both debuggers; returns detection flags.
 
-    Anything detected here is a false positive.
+    Anything detected here is a false positive. ``trace_store``
+    optionally collects the model debugger's full execution trace.
     """
     pristine = system_factory()
     firmware = (base_firmware if base_firmware is not None
                 else generate_firmware(pristine, plan))
     detected, _, _ = _run_model_debugger(pristine, firmware,
-                                         monitor_factory, duration_us)
+                                         monitor_factory, duration_us,
+                                         trace_store=trace_store)
     code_detected, _, _ = _run_code_debugger(pristine, firmware,
                                              watch_specs, duration_us)
     return detected, code_detected
@@ -263,6 +284,7 @@ def run_fault_experiment(
     duration_us: int,
     plan: InstrumentationPlan,
     base_firmware: Optional[FirmwareImage] = None,
+    trace_store: Optional[object] = None,
 ) -> Optional[FaultOutcome]:
     """Inject one fault and score it under both debuggers.
 
@@ -272,6 +294,7 @@ def run_fault_experiment(
     kind does not apply to this system). ``base_firmware`` optionally
     reuses a pre-generated pristine image (implementation faults only;
     codegen is deterministic, so this is a pure time save).
+    ``trace_store`` collects the model debugger's execution trace.
     """
     if category == "design":
         mutant, fault = inject_design_fault(system_factory(), kind, seed)
@@ -279,7 +302,8 @@ def run_fault_experiment(
             return None
         firmware = generate_firmware(mutant, plan)
         model_result = _run_model_debugger(mutant, firmware,
-                                           monitor_factory, duration_us)
+                                           monitor_factory, duration_us,
+                                           trace_store=trace_store)
         code_result = _run_code_debugger(mutant, firmware,
                                          watch_specs, duration_us)
         verdict = _classify(mutant, firmware, model_result[0])
@@ -299,7 +323,8 @@ def run_fault_experiment(
         run_fw, patches = split_memory_patches(base_fw, mutant_fw)
         model_result = _run_model_debugger(base, run_fw, monitor_factory,
                                            duration_us,
-                                           memory_patches=patches)
+                                           memory_patches=patches,
+                                           trace_store=trace_store)
         code_result = _run_code_debugger(base, run_fw, watch_specs,
                                          duration_us,
                                          memory_patches=patches)
@@ -321,6 +346,41 @@ def _classify(system: System, firmware: FirmwareImage,
     return classify_bug(system, firmware, violation_observed=True).verdict.value
 
 
+def _validate_seed_plan(seeds: Sequence[int], master_seed: Optional[int],
+                        seeds_per_kind: Optional[int]) -> None:
+    """One source of truth for the seeds_per_kind/master_seed pairing."""
+    if seeds_per_kind is not None and master_seed is None:
+        raise FleetError(
+            f"seeds_per_kind={seeds_per_kind} needs a master_seed to "
+            f"derive from; without one the campaign would silently fall "
+            f"back to the {len(seeds)} explicit seed(s)")
+
+
+def campaign_seeds(
+    category: str,
+    kind: str,
+    seeds: Sequence[int],
+    master_seed: Optional[int] = None,
+    seeds_per_kind: Optional[int] = None,
+) -> Sequence[int]:
+    """The per-kind seed list a campaign enumerates.
+
+    With ``master_seed=None`` this is just *seeds* (every kind shares
+    one small list — the original corpus shape). With a master seed,
+    each ``category/kind`` gets its own deterministic
+    :func:`~repro.fleet.pool.seed_stream` of ``seeds_per_kind`` seeds
+    (default: ``len(seeds)``) — corpus size scales with one knob, and
+    no two kinds ever reuse a seed, so campaigns enumerate genuinely
+    distinct scenarios as they grow.
+    """
+    _validate_seed_plan(seeds, master_seed, seeds_per_kind)
+    if master_seed is None:
+        return seeds
+    from repro.fleet.pool import seed_stream  # deferred: cycle via worker
+    count = seeds_per_kind if seeds_per_kind is not None else len(seeds)
+    return seed_stream(master_seed, f"{category}/{kind}", count)
+
+
 def run_campaign(
     system_factory: Callable[[], System],
     monitor_factory: Callable[[], MonitorSuite],
@@ -331,6 +391,9 @@ def run_campaign(
     duration_us: int = 3_000_000,
     plan: Optional[InstrumentationPlan] = None,
     runner: Optional[object] = None,
+    master_seed: Optional[int] = None,
+    seeds_per_kind: Optional[int] = None,
+    trace_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Inject faults, run both debuggers on each, aggregate detection.
 
@@ -341,8 +404,31 @@ def run_campaign(
     which requires the three factories to be importable module-level
     callables (``code_watch_specs`` given as a factory, not a list).
     Parallel and serial campaigns produce identical results.
+
+    ``master_seed``/``seeds_per_kind`` switch seed selection to
+    :func:`campaign_seeds` derivation (per-kind deterministic streams).
+    ``trace_dir`` turns on trace collection: every job spills its model
+    debugger's execution trace to a per-job store under that directory
+    and the merged, canonically-ordered campaign store comes back as
+    ``CampaignResult.trace_store``. Collection runs through the fleet
+    job path (``runner=None`` falls back to a
+    :class:`~repro.fleet.pool.SerialRunner`), so it needs importable
+    factories too — and serial and parallel campaigns produce
+    byte-identical campaign stores.
     """
     plan = plan if plan is not None else InstrumentationPlan.full()
+
+    # argument errors fail before any experiment burns wall-clock (the
+    # control run alone simulates the full duration twice)
+    _validate_seed_plan(seeds, master_seed, seeds_per_kind)
+
+    if trace_dir is not None:
+        # fail on a reused trace_dir *now*, not after the whole corpus ran
+        from repro.tracedb.collect import ensure_fresh_trace_dir
+        ensure_fresh_trace_dir(trace_dir)
+        if runner is None:
+            from repro.fleet.pool import SerialRunner
+            runner = SerialRunner()
 
     if runner is not None:
         from repro.fleet.jobs import enumerate_campaign_jobs
@@ -351,8 +437,10 @@ def run_campaign(
             system_factory, monitor_factory, code_watch_specs,
             design_kinds=design_kinds, impl_kinds=impl_kinds, seeds=seeds,
             duration_us=duration_us, plan=plan,
+            master_seed=master_seed, seeds_per_kind=seeds_per_kind,
+            trace_dir=trace_dir,
         )
-        return merge_results(specs, runner.run(specs))
+        return merge_results(specs, runner.run(specs), trace_dir=trace_dir)
 
     watch_specs = (code_watch_specs() if callable(code_watch_specs)
                    else code_watch_specs)
@@ -363,20 +451,15 @@ def run_campaign(
         system_factory, monitor_factory, watch_specs, duration_us, plan)
     false_positives = int(detected) + int(code_detected)
 
-    for kind in design_kinds:
-        for seed in seeds:
-            outcome = run_fault_experiment(
-                system_factory, monitor_factory, watch_specs,
-                "design", kind, seed, duration_us, plan)
-            if outcome is not None:
-                outcomes.append(outcome)
-
-    for kind in impl_kinds:
-        for seed in seeds:
-            outcome = run_fault_experiment(
-                system_factory, monitor_factory, watch_specs,
-                "implementation", kind, seed, duration_us, plan)
-            if outcome is not None:
-                outcomes.append(outcome)
+    for category, kinds in (("design", design_kinds),
+                            ("implementation", impl_kinds)):
+        for kind in kinds:
+            for seed in campaign_seeds(category, kind, seeds,
+                                       master_seed, seeds_per_kind):
+                outcome = run_fault_experiment(
+                    system_factory, monitor_factory, watch_specs,
+                    category, kind, seed, duration_us, plan)
+                if outcome is not None:
+                    outcomes.append(outcome)
 
     return CampaignResult(outcomes, false_positives)

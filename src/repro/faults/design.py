@@ -13,7 +13,7 @@ import random
 from typing import List, Optional, Tuple
 
 from repro.comdes.blocks import GainFB, StateMachineFB, ThresholdFB
-from repro.comdes.expr import Const, Expr
+from repro.comdes.expr import Const, Expr, lnot
 from repro.comdes.system import System
 from repro.errors import ReproError
 
@@ -185,6 +185,25 @@ def _fault_swapped_guards(system: System, rng: random.Random) -> Optional[str]:
     return None
 
 
+def _fault_guard_inversion(system: System, rng: random.Random) -> Optional[str]:
+    """Logically invert one transition guard (fires exactly when it
+    should not) — the classic condition-negation modeling slip."""
+    machines = _state_machine_blocks(system)
+    rng.shuffle(machines)
+    for actor_name, block in machines:
+        # Inverting a constant-true guard yields a never-firing self-loop
+        # twin of remove_transition; prefer real predicates.
+        candidates = [t for t in block.machine.transitions
+                      if not isinstance(t.guard, Const)]
+        if not candidates:
+            continue
+        victim = rng.choice(candidates)
+        victim.guard = lnot(victim.guard)
+        return (f"{actor_name}.{block.name}: guard inverted on "
+                f"{victim.source}->{victim.target}")
+    return None
+
+
 #: kind name -> injector
 DESIGN_FAULT_KINDS = {
     "remove_transition": _fault_remove_transition,
@@ -195,6 +214,7 @@ DESIGN_FAULT_KINDS = {
     "gain_sign": _fault_gain_sign,
     "threshold_limit": _fault_threshold_limit,
     "swapped_guards": _fault_swapped_guards,
+    "guard_inversion": _fault_guard_inversion,
 }
 
 

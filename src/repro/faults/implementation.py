@@ -154,6 +154,25 @@ def _fault_dead_store_zero(firmware: FirmwareImage,
     return f"pc={pc}: {name} behaves stuck-at-zero (store dropped, init zeroed)"
 
 
+def _fault_stuck_at_signal(firmware: FirmwareImage,
+                           rng: random.Random) -> Optional[str]:
+    """A latched input word reads a stuck constant: one ``LOAD`` of an
+    ``<actor>.in.<port>`` cell becomes ``PUSH 0|1`` — the glue-code bug
+    where a driver wires a signal to a literal instead of the bus."""
+    candidates = []
+    for pc in _mutable_pcs(firmware, ("LOAD",)):
+        symbol = firmware.symbols.at_addr(firmware.code[pc].arg)
+        if symbol is not None and ".in." in symbol.name:
+            candidates.append((pc, symbol))
+    if not candidates:
+        return None
+    pc, symbol = rng.choice(candidates)
+    old = firmware.code[pc]
+    stuck = rng.choice((0, 1))
+    firmware.code[pc] = Instr("PUSH", stuck, src_path=old.src_path)
+    return f"pc={pc}: {symbol.name} reads stuck-at {stuck}"
+
+
 def split_memory_patches(base: FirmwareImage, mutant: FirmwareImage
                          ) -> Tuple[FirmwareImage, List[Tuple[int, int]]]:
     """Split a firmware mutation into (code image, data memory patches).
@@ -187,6 +206,7 @@ IMPL_FAULT_KINDS = {
     "inverted_branch": _fault_inverted_branch,
     "init_corrupt": _fault_init_corrupt,
     "stuck_at_zero": _fault_dead_store_zero,
+    "stuck_at_signal": _fault_stuck_at_signal,
 }
 
 

@@ -96,15 +96,20 @@ class JobSpec:
     Everything is a plain value: strings, ints and an
     :class:`InstrumentationPlan` (itself attribute-only). ``index`` is
     the job's canonical position in the corpus — merge order, never
-    execution order.
+    execution order. A non-empty ``trace_dir`` asks the worker to spill
+    the model debugger's execution trace into a per-job
+    :class:`~repro.tracedb.store.TraceStore` under that directory and
+    hand the path back (never the trace itself) on the result.
     """
 
     __slots__ = ("index", "category", "kind", "seed", "duration_us",
-                 "system_ref", "monitor_ref", "watch_ref", "plan")
+                 "system_ref", "monitor_ref", "watch_ref", "plan",
+                 "trace_dir")
 
     def __init__(self, index: int, category: str, kind: str, seed: int,
                  duration_us: int, system_ref: str, monitor_ref: str,
-                 watch_ref: str, plan: InstrumentationPlan) -> None:
+                 watch_ref: str, plan: InstrumentationPlan,
+                 trace_dir: str = "") -> None:
         if category not in CATEGORIES:
             raise FleetError(f"unknown job category {category!r}; "
                              f"options: {CATEGORIES}")
@@ -119,6 +124,7 @@ class JobSpec:
         self.monitor_ref = monitor_ref
         self.watch_ref = watch_ref
         self.plan = plan
+        self.trace_dir = trace_dir
 
     @property
     def job_id(self) -> str:
@@ -142,10 +148,14 @@ class JobResult:
       (``declined=True``, nothing else set);
     * failed — the worker caught an exception (or died); ``error`` holds
       the structured failure ``{"type", "message", "traceback"}``.
+
+    ``trace_path`` is the path-based trace handoff: the root of the
+    per-job store the worker spilled into (empty when the job did not
+    collect traces). Paths cross the process boundary; traces never do.
     """
 
     __slots__ = ("index", "job_id", "fault", "declined", "model", "code",
-                 "classified_as", "error", "worker_pid")
+                 "classified_as", "error", "worker_pid", "trace_path")
 
     def __init__(self, index: int, job_id: str,
                  fault: Optional[FaultDescriptor] = None,
@@ -154,7 +164,8 @@ class JobResult:
                  code: Optional[tuple] = None,
                  classified_as: str = "",
                  error: Optional[dict] = None,
-                 worker_pid: int = 0) -> None:
+                 worker_pid: int = 0,
+                 trace_path: str = "") -> None:
         self.index = index
         self.job_id = job_id
         self.fault = fault
@@ -164,6 +175,7 @@ class JobResult:
         self.classified_as = classified_as
         self.error = error
         self.worker_pid = worker_pid
+        self.trace_path = trace_path
 
     @property
     def failed(self) -> bool:
@@ -190,13 +202,18 @@ def enumerate_campaign_jobs(
     seeds: Sequence[int],
     duration_us: int,
     plan: InstrumentationPlan,
+    master_seed: Optional[int] = None,
+    seeds_per_kind: Optional[int] = None,
+    trace_dir: Optional[str] = None,
 ) -> List[JobSpec]:
     """The campaign corpus as an ordered job list (control first).
 
     Enumeration order is the canonical result order: control, then
     design kinds x seeds, then implementation kinds x seeds — exactly
     the serial loop's order, independent of how jobs are later chunked
-    or scheduled.
+    or scheduled. Per-kind seeds come from
+    :func:`~repro.faults.campaign.campaign_seeds`, so derived-seed
+    corpora (``master_seed``) enumerate identically here and inline.
     """
     if not callable(watch_factory):
         raise FleetError(
@@ -204,20 +221,23 @@ def enumerate_campaign_jobs(
             "zero-argument factory (e.g. traffic_light_code_watches), "
             f"not a pre-built list; got {type(watch_factory).__name__}"
         )
+    from repro.faults.campaign import campaign_seeds  # deferred: cycle
     system_ref = callable_ref(system_factory)
     monitor_ref = callable_ref(monitor_factory)
     watch_ref = callable_ref(watch_factory)
 
     def spec(index: int, category: str, kind: str, seed: int) -> JobSpec:
         return JobSpec(index, category, kind, seed, duration_us,
-                       system_ref, monitor_ref, watch_ref, plan)
+                       system_ref, monitor_ref, watch_ref, plan,
+                       trace_dir=trace_dir or "")
 
     specs = [spec(CONTROL_INDEX, "control", "", 0)]
     index = CONTROL_INDEX + 1
     for category, kinds in (("design", design_kinds),
                             ("implementation", impl_kinds)):
         for kind in kinds:
-            for seed in seeds:
+            for seed in campaign_seeds(category, kind, seeds,
+                                       master_seed, seeds_per_kind):
                 specs.append(spec(index, category, kind, seed))
                 index += 1
     return specs

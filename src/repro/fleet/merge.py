@@ -19,7 +19,7 @@ a number, it is fiction.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import FleetError
 from repro.faults.campaign import CampaignResult, FaultOutcome
@@ -31,8 +31,16 @@ def _format_failure(result: JobResult) -> str:
 
 
 def merge_results(specs: Sequence[JobSpec], results: Sequence[JobResult],
-                  strict: bool = True) -> CampaignResult:
-    """Fold job results into a :class:`CampaignResult` in canonical order."""
+                  strict: bool = True,
+                  trace_dir: Optional[str] = None) -> CampaignResult:
+    """Fold job results into a :class:`CampaignResult` in canonical order.
+
+    With ``trace_dir`` (a campaign that collected traces), the per-job
+    stores named by each result's ``trace_path`` are additionally merged
+    into one canonically-ordered campaign
+    :class:`~repro.tracedb.store.TraceStore` under
+    ``trace_dir/campaign``, returned as ``CampaignResult.trace_store``.
+    """
     if len(specs) != len(results):
         raise FleetError(f"result count {len(results)} does not match "
                          f"spec count {len(specs)}")
@@ -86,4 +94,7 @@ def merge_results(specs: Sequence[JobSpec], results: Sequence[JobResult],
 
     merged = CampaignResult(outcomes, false_positives)
     merged.failures = failures
+    if trace_dir is not None:
+        from repro.tracedb.collect import collect_campaign_store
+        merged.trace_store = collect_campaign_store(results, trace_dir)
     return merged

@@ -54,6 +54,22 @@ def _base_firmware(spec: JobSpec) -> FirmwareImage:
     return firmware
 
 
+def _sealed_trace_path(spec: JobSpec) -> str:
+    """The job's per-job store root — only if a sealed store exists.
+
+    Failure results still point at whatever trace the job recorded
+    before dying (the post-mortem artifact); an empty string means the
+    job failed before its store was created.
+    """
+    if not spec.trace_dir:
+        return ""
+    from repro.tracedb.collect import job_store_root
+    root = job_store_root(spec.trace_dir, spec.index)
+    if os.path.exists(os.path.join(root, "index.json")):
+        return root
+    return ""
+
+
 def run_job(spec: JobSpec) -> JobResult:
     """Execute one experiment; exceptions become structured failures."""
     try:
@@ -67,41 +83,60 @@ def run_job(spec: JobSpec) -> JobResult:
                 "traceback": traceback.format_exc(),
             },
             worker_pid=os.getpid(),
+            trace_path=_sealed_trace_path(spec),
         )
+
+
+def _job_trace_store(spec: JobSpec):
+    """The per-job spill store when this job collects traces, else None."""
+    if not spec.trace_dir:
+        return None
+    from repro.tracedb.collect import open_job_store
+    return open_job_store(spec.trace_dir, spec.index)
 
 
 def _execute(spec: JobSpec) -> JobResult:
     system_factory = resolve_ref(spec.system_ref)
     monitor_factory = resolve_ref(spec.monitor_ref)
     watch_specs = resolve_ref(spec.watch_ref)()
+    trace_store = _job_trace_store(spec)
+    trace_path = trace_store.root if trace_store is not None else ""
 
-    if spec.category == "control":
-        detected, code_detected = run_control_experiment(
+    try:
+        if spec.category == "control":
+            detected, code_detected = run_control_experiment(
+                system_factory, monitor_factory, watch_specs,
+                spec.duration_us, spec.plan,
+                base_firmware=_base_firmware(spec), trace_store=trace_store)
+            return JobResult(spec.index, spec.job_id,
+                             model=(detected, None, ""),
+                             code=(code_detected, None, ""),
+                             worker_pid=os.getpid(), trace_path=trace_path)
+
+        base_firmware = (_base_firmware(spec)
+                         if spec.category == "implementation" else None)
+        outcome = run_fault_experiment(
             system_factory, monitor_factory, watch_specs,
-            spec.duration_us, spec.plan, base_firmware=_base_firmware(spec))
-        return JobResult(spec.index, spec.job_id,
-                         model=(detected, None, ""),
-                         code=(code_detected, None, ""),
-                         worker_pid=os.getpid())
-
-    base_firmware = (_base_firmware(spec)
-                     if spec.category == "implementation" else None)
-    outcome = run_fault_experiment(
-        system_factory, monitor_factory, watch_specs,
-        spec.category, spec.kind, spec.seed, spec.duration_us, spec.plan,
-        base_firmware=base_firmware)
-    if outcome is None:
-        return JobResult(spec.index, spec.job_id, declined=True,
-                         worker_pid=os.getpid())
-    return JobResult(
-        spec.index, spec.job_id, fault=outcome.fault,
-        model=(outcome.model_detected, outcome.model_latency_us,
-               outcome.model_how),
-        code=(outcome.code_detected, outcome.code_latency_us,
-              outcome.code_how),
-        classified_as=outcome.classified_as,
-        worker_pid=os.getpid(),
-    )
+            spec.category, spec.kind, spec.seed, spec.duration_us, spec.plan,
+            base_firmware=base_firmware, trace_store=trace_store)
+        if outcome is None:
+            return JobResult(spec.index, spec.job_id, declined=True,
+                             worker_pid=os.getpid(), trace_path=trace_path)
+        return JobResult(
+            spec.index, spec.job_id, fault=outcome.fault,
+            model=(outcome.model_detected, outcome.model_latency_us,
+                   outcome.model_how),
+            code=(outcome.code_detected, outcome.code_latency_us,
+                  outcome.code_how),
+            classified_as=outcome.classified_as,
+            worker_pid=os.getpid(),
+            trace_path=trace_path,
+        )
+    finally:
+        # Seal the store whatever happened: a parent only ever opens
+        # complete, index-finalized per-job stores.
+        if trace_store is not None:
+            trace_store.close()
 
 
 def run_job_batch(specs: Sequence[JobSpec]) -> List[JobResult]:

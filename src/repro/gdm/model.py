@@ -155,6 +155,33 @@ class GdmModel:
         """Copy of every element's dynamic style (animation frames)."""
         return {eid: dict(e.style) for eid, e in self.elements.items()}
 
+    def dynamic_state(self) -> Dict[str, Dict[str, Dict[str, str]]]:
+        """The complete mutable display state: element *and* link styles.
+
+        This is the replay checkpoint payload — restoring it via
+        :meth:`restore_dynamic_state` puts the model back into exactly
+        this animation instant.
+        """
+        return {
+            "elements": {eid: dict(e.style)
+                         for eid, e in self.elements.items() if e.style},
+            "links": {lid: dict(l.style)
+                      for lid, l in self.links.items() if l.style},
+        }
+
+    def restore_dynamic_state(
+            self, state: Dict[str, Dict[str, Dict[str, str]]]) -> None:
+        """Inverse of :meth:`dynamic_state` (clears everything else)."""
+        self.reset_styles()
+        for eid, style in state.get("elements", {}).items():
+            element = self.elements.get(eid)
+            if element is not None:
+                element.style.update(style)
+        for lid, style in state.get("links", {}).items():
+            link = self.links.get(lid)
+            if link is not None:
+                link.style.update(style)
+
     def reset_styles(self) -> None:
         """Clear all dynamic styling."""
         for element in self.elements.values():

@@ -61,6 +61,7 @@ class DtmKernel:
         boards: Optional[Dict[str, Board]] = None,
         nodes: Optional[Sequence[str]] = None,
         record_capacity: Optional[int] = None,
+        record_spill: Optional[object] = None,
     ) -> None:
         """``nodes`` restricts this kernel to a shard: boards are built
         and actor jobs dispatched only for the named nodes, while the
@@ -69,7 +70,16 @@ class DtmKernel:
         :mod:`repro.rtos.sharding`). ``record_capacity`` bounds
         :attr:`records` to a ring of the newest N entries, mirroring
         ``ExecutionTrace(capacity=N)``, with evictions counted in
-        :attr:`records_dropped`.
+        :attr:`records_dropped`. ``record_spill`` attaches a
+        :class:`~repro.tracedb.store.TraceStore` that receives every
+        :class:`~repro.rtos.task.JobRecord` as it is appended — the ring
+        becomes a hot cache, :attr:`records_dropped` stays 0, and
+        :meth:`spilled_records` streams the full job history back. A
+        spilling kernel with no explicit ``record_capacity`` defaults
+        its ring to :data:`~repro.tracedb.store.DEFAULT_SPILL_CACHE_EVENTS`
+        — spilling while
+        also keeping an unbounded in-memory copy would defeat the
+        flat-memory point.
         """
         self.system = system
         self.firmware = firmware
@@ -94,7 +104,15 @@ class DtmKernel:
         if record_capacity is not None and record_capacity <= 0:
             raise SchedulerError(
                 f"record capacity must be positive, got {record_capacity}")
+        if record_capacity is None and record_spill is not None:
+            # deferred: keep rtos importable without the tracedb package
+            from repro.tracedb.store import DEFAULT_SPILL_CACHE_EVENTS
+            record_capacity = DEFAULT_SPILL_CACHE_EVENTS
         self.record_capacity = record_capacity
+        self.record_spill = record_spill
+        # continue a resumed store's seq line (0 for a fresh store)
+        self._record_seq = (getattr(record_spill, "next_seq", 0)
+                            if record_spill is not None else 0)
         self._records: List[JobRecord] = []
         self._records_head = 0
         self.records_dropped = 0
@@ -225,12 +243,23 @@ class DtmKernel:
     # -- records ------------------------------------------------------------
 
     def _append_record(self, record: JobRecord) -> None:
-        """Append (overwriting the oldest when at capacity)."""
+        """Append (overwriting the oldest when at capacity).
+
+        With a spill store attached the record is persisted first, so
+        eviction only drops the cached copy and the dropped counter
+        stays 0 — the full job history remains streamable.
+        """
+        if self.record_spill is not None:
+            spilled = record.to_dict()
+            spilled["seq"] = self._record_seq
+            self._record_seq += 1
+            self.record_spill.append(spilled)
         if (self.record_capacity is not None
                 and len(self._records) == self.record_capacity):
             self._records[self._records_head] = record
             self._records_head = (self._records_head + 1) % self.record_capacity
-            self.records_dropped += 1
+            if self.record_spill is None:
+                self.records_dropped += 1
         else:
             self._records.append(record)
 
@@ -241,6 +270,22 @@ class DtmKernel:
             return list(self._records)
         return (self._records[self._records_head:]
                 + self._records[:self._records_head])
+
+    def spilled_records(self):
+        """Stream the *full* job-record history from the spill store.
+
+        Misconfiguration (no spill store) raises here at the call site,
+        not at first iteration of the returned generator.
+        """
+        if self.record_spill is None:
+            raise SchedulerError("kernel has no record spill store")
+        self.record_spill.flush()
+
+        def _stream():
+            for data in self.record_spill.events():
+                yield JobRecord.from_dict(data)
+
+        return _stream()
 
     # -- queries ------------------------------------------------------------
 

@@ -1,0 +1,128 @@
+"""Fleet trace collection: per-job stores merged into one campaign store.
+
+Workers never pickle traces across the process boundary — each job spills
+its model-debugger trace into its own store under the campaign's
+``trace_dir`` and hands back only the **path**
+(:attr:`~repro.fleet.jobs.JobResult.trace_path`). The parent merges the
+per-job stores into one campaign store in *canonical job order* (the
+corpus enumeration order, never execution order): records are
+re-sequenced 0.., their original per-job seq preserved as ``job_seq``
+and stamped with ``job_id``/``job_index``. Because record encoding is
+canonical and merge order is canonical, a fleet-collected campaign store
+is byte-identical to the serial runner's — the same parity the result
+merge already guarantees for detection tables.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Optional, Sequence
+
+from repro.errors import TraceStoreError
+from repro.tracedb.store import DEFAULT_CODEC, DEFAULT_SEGMENT_EVENTS, TraceStore
+
+
+def job_store_root(trace_dir: str, index: int) -> str:
+    """Where job *index* spills its trace (shared by worker and merge)."""
+    return os.path.join(trace_dir, f"job-{index:05d}")
+
+
+def open_job_store(trace_dir: str, index: int,
+                   segment_events: int = DEFAULT_SEGMENT_EVENTS,
+                   codec: str = DEFAULT_CODEC) -> TraceStore:
+    """Create the per-job spill store a worker records into.
+
+    A per-job store is a *product* of running the job, so an existing
+    store at this root is replaced, not resumed: the pool's
+    crash-containment retry legitimately re-runs a job whose first
+    attempt already sealed segments, and attaching would collide the
+    retry's seq-0 appends with the stale tail. (Re-running a whole
+    campaign over an old ``trace_dir`` is caught at the merge root,
+    which refuses to overwrite a finished campaign store.)
+    """
+    root = job_store_root(trace_dir, index)
+    if os.path.isdir(root):
+        shutil.rmtree(root)
+    return TraceStore(root, segment_events=segment_events, codec=codec)
+
+
+def merge_job_stores(results: Sequence[object], dest_root: str,
+                     segment_events: int = DEFAULT_SEGMENT_EVENTS,
+                     codec: str = DEFAULT_CODEC) -> TraceStore:
+    """Fold every job's store into one canonically-ordered campaign store.
+
+    *results* are :class:`~repro.fleet.jobs.JobResult`-shaped objects;
+    they are processed sorted by canonical ``index``. Skipped: results
+    without a ``trace_path`` (no collection, or failed before the store
+    existed) and **failed** results — a half-recorded trace folded into
+    the campaign store would be indistinguishable from a complete one
+    and would break serial/parallel byte parity; the failure result
+    still carries its sealed ``trace_path`` for post-mortems. Streams
+    segment by segment — the merge never holds more than one source
+    segment in memory.
+    """
+    dest = TraceStore(dest_root, segment_events=segment_events, codec=codec)
+    if dest.event_count:
+        raise TraceStoreError(
+            f"campaign store at {dest_root} already holds "
+            f"{dest.event_count} event(s) — the trace_dir looks reused; "
+            f"give every campaign run a fresh trace_dir")
+    for result in sorted(results, key=lambda r: r.index):
+        path = getattr(result, "trace_path", "")
+        if not path or getattr(result, "failed", False):
+            continue
+        source = TraceStore.open(path)
+        for record in source.events():
+            merged = dict(record)
+            merged["job_seq"] = merged.pop("seq")
+            merged["job_id"] = result.job_id
+            merged["job_index"] = result.index
+            dest.append(merged)
+    dest.close()
+    return dest
+
+
+def campaign_store_root(trace_dir: str) -> str:
+    """Where the merged campaign store lives under a ``trace_dir``."""
+    return os.path.join(trace_dir, "campaign")
+
+
+def ensure_fresh_trace_dir(trace_dir: str) -> None:
+    """Refuse a ``trace_dir`` that already holds campaign artifacts.
+
+    Called *before* any job is dispatched: catching the reuse only at
+    merge time would first spend the whole campaign's compute and
+    replace every old per-job store. Both reuse shapes are refused — a
+    finished run (merged campaign store present) and a run that died
+    before its merge (stray per-job stores, which a smaller re-run would
+    otherwise leave interleaved with its own, indistinguishably).
+    """
+    root = campaign_store_root(trace_dir)
+    if os.path.exists(os.path.join(root, "index.json")):
+        raise TraceStoreError(
+            f"trace_dir {trace_dir!r} already holds a merged campaign "
+            f"store at {root}; give every campaign run a fresh trace_dir")
+    if os.path.isdir(trace_dir):
+        stale = sorted(e for e in os.listdir(trace_dir)
+                       if e.startswith("job-"))
+        if stale:
+            raise TraceStoreError(
+                f"trace_dir {trace_dir!r} already contains per-job "
+                f"store(s) from a previous (unmerged) run "
+                f"({stale[0]}..{stale[-1]}, {len(stale)} total); give "
+                f"every campaign run a fresh trace_dir")
+
+
+def collect_campaign_store(results: Sequence[object],
+                           trace_dir: str,
+                           segment_events: int = DEFAULT_SEGMENT_EVENTS,
+                           codec: str = DEFAULT_CODEC) -> Optional[TraceStore]:
+    """Merge all collected per-job stores under *trace_dir*.
+
+    Returns None when no result carried a trace (collection was off).
+    """
+    if not any(getattr(r, "trace_path", "") for r in results):
+        return None
+    return merge_job_stores(results, campaign_store_root(trace_dir),
+                            segment_events=segment_events, codec=codec)

@@ -1,0 +1,130 @@
+"""Segment record formats: versioned header + two writer-chosen codecs.
+
+Every segment file opens with one UTF-8 JSON header line (readable with
+``head -1`` regardless of codec)::
+
+    {"codec": "jsonl", "magic": "repro-tracedb-segment", "version": 1}
+
+followed by the records in the codec named by the header:
+
+* ``jsonl`` — one canonical JSON object per ``\\n``-terminated line.
+  Greppable, diffable, the default.
+* ``binary`` — length-prefixed records: a 4-byte big-endian payload
+  length, then the payload (the same canonical JSON, UTF-8). Cheaper to
+  skip through and immune to embedded newlines.
+
+Canonical JSON (sorted keys, no whitespace) makes encoding a pure
+function of the record: two stores built from the same events are
+byte-identical files, which is what lets the fleet-collection tests
+compare serial and parallel campaign stores with ``filecmp``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Dict, Iterator
+
+from repro.errors import TraceStoreError
+
+MAGIC = "repro-tracedb-segment"
+VERSION = 1
+
+_LEN = struct.Struct(">I")
+
+
+def encode_record(record: dict) -> bytes:
+    """Canonical JSON bytes of *record* (sorted keys, no whitespace)."""
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+class JsonlCodec:
+    """One canonical-JSON record per line."""
+
+    name = "jsonl"
+
+    @staticmethod
+    def write(fh: BinaryIO, record: dict) -> int:
+        payload = encode_record(record) + b"\n"
+        fh.write(payload)
+        return len(payload)
+
+    @staticmethod
+    def read(fh: BinaryIO) -> Iterator[dict]:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+class BinaryCodec:
+    """Length-prefixed records: 4-byte big-endian length + JSON payload."""
+
+    name = "binary"
+
+    @staticmethod
+    def write(fh: BinaryIO, record: dict) -> int:
+        payload = encode_record(record)
+        fh.write(_LEN.pack(len(payload)))
+        fh.write(payload)
+        return _LEN.size + len(payload)
+
+    @staticmethod
+    def read(fh: BinaryIO) -> Iterator[dict]:
+        while True:
+            prefix = fh.read(_LEN.size)
+            if not prefix:
+                return
+            if len(prefix) < _LEN.size:
+                raise TraceStoreError(
+                    f"truncated length prefix ({len(prefix)} bytes) "
+                    f"at segment tail")
+            (length,) = _LEN.unpack(prefix)
+            payload = fh.read(length)
+            if len(payload) < length:
+                raise TraceStoreError(
+                    f"truncated record: expected {length} payload bytes, "
+                    f"got {len(payload)}")
+            yield json.loads(payload.decode("utf-8"))
+
+
+CODECS: Dict[str, object] = {JsonlCodec.name: JsonlCodec,
+                             BinaryCodec.name: BinaryCodec}
+
+
+def codec_named(name: str):
+    """Look up a codec, loudly."""
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise TraceStoreError(f"unknown segment codec {name!r}; "
+                              f"options: {sorted(CODECS)}") from None
+
+
+def write_header(fh: BinaryIO, codec_name: str) -> int:
+    """Write the one-line JSON header; returns bytes written."""
+    codec_named(codec_name)  # validate before committing bytes
+    header = json.dumps({"magic": MAGIC, "version": VERSION,
+                         "codec": codec_name},
+                        sort_keys=True, separators=(",", ":"))
+    payload = header.encode("utf-8") + b"\n"
+    fh.write(payload)
+    return len(payload)
+
+
+def read_header(fh: BinaryIO):
+    """Validate the header line; returns the codec class to read with."""
+    line = fh.readline()
+    try:
+        header = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TraceStoreError(f"segment header is not JSON: {exc}") from exc
+    if header.get("magic") != MAGIC:
+        raise TraceStoreError(
+            f"not a tracedb segment (magic {header.get('magic')!r})")
+    if header.get("version") != VERSION:
+        raise TraceStoreError(
+            f"unsupported segment version {header.get('version')!r} "
+            f"(this reader speaks version {VERSION})")
+    return codec_named(header.get("codec", ""))

@@ -99,6 +99,43 @@ class TestImplementationFaults:
             inject_implementation_fault(firmware, "cosmic_ray", 1)
 
 
+class TestGrownCorpusKinds:
+    """The PR-4 corpus growth: guard inversion + stuck-at signal value."""
+
+    def test_guard_inversion_registered_and_applies(self):
+        assert "guard_inversion" in DESIGN_FAULT_KINDS
+        mutant, fault = inject_design_fault(traffic_light_system(),
+                                            "guard_inversion", 1)
+        assert mutant is not None
+        assert "guard inverted" in fault.description
+        # the mutant still compiles and runs (structural validity)
+        firmware = generate_firmware(mutant)
+        run_firmware_lockstep(mutant, firmware, 10)
+
+    def test_guard_inversion_changes_behaviour(self):
+        original = traffic_light_system()
+        mutant, _ = inject_design_fault(original, "guard_inversion", 1)
+        assert original.lockstep_run(40) != mutant.lockstep_run(40)
+
+    def test_stuck_at_signal_registered_and_applies(self):
+        assert "stuck_at_signal" in IMPL_FAULT_KINDS
+        firmware = generate_firmware(traffic_light_system())
+        mutant, fault = inject_implementation_fault(firmware,
+                                                    "stuck_at_signal", 1)
+        assert mutant is not None
+        assert "stuck-at" in fault.description
+        assert ".in." in fault.description  # targets a latched input word
+
+    def test_stuck_at_signal_rewrites_exactly_one_load(self):
+        firmware = generate_firmware(traffic_light_system())
+        mutant, _ = inject_implementation_fault(firmware, "stuck_at_signal", 3)
+        diffs = [(a, b) for a, b in zip(firmware.code, mutant.code) if a != b]
+        assert len(diffs) == 1
+        old, new = diffs[0]
+        assert old.op == "LOAD" and new.op == "PUSH"
+        assert new.arg in (0, 1)
+
+
 class TestCampaign:
     @pytest.fixture(scope="class")
     def result(self):

@@ -76,3 +76,98 @@ class TestSessionBudget:
         assert not session.budget_failed
         with pytest.raises(BudgetExceededError):
             session.run_for(ms(10))  # cumulative books cross the ceiling
+
+
+class TestPerChannelAttribution:
+    def test_passive_traffic_books_under_passive_channel(self):
+        session = passive_session()
+        session.run(ms(10))
+        stats = session.transport_stats()
+        assert set(stats["channels"]) == {"passive"}
+        row = stats["channels"]["passive"]
+        assert row["links"] == 1
+        assert row["transactions"] == stats["transactions"]
+        assert row["cost_us_total"] == stats["cost_us_total"]
+
+    def test_active_traffic_books_under_active_channel(self):
+        from repro.comdes.examples import traffic_light_system
+        session = DebugSession(traffic_light_system(),
+                               channel_kind="active").setup()
+        session.run(ms(500))
+        stats = session.transport_stats()
+        assert set(stats["channels"]) == {"active"}
+        assert stats["channels"]["active"]["frames_carried"] > 0
+
+    def test_inspect_link_registers_as_its_own_channel(self):
+        from repro.debugger.gdb import SourceDebugger
+        session = passive_session()
+        node = session.system.nodes()[0]
+        debugger = SourceDebugger(session.kernel.board_of(node),
+                                  session.firmware)
+        assert debugger.link.label == "inspect"
+        session.add_debug_link(debugger.link)
+        debugger.inspect_many([s.name for s in
+                               session.firmware.symbols.symbols()][:4])
+        stats = session.transport_stats()
+        assert set(stats["channels"]) == {"passive", "inspect"}
+        assert stats["channels"]["inspect"]["transactions"] == 1
+
+    def test_global_violation_names_busiest_channel(self):
+        session = passive_session(TransportBudget(max_transactions=10))
+        with pytest.raises(BudgetExceededError) as err:
+            session.run(ms(20))
+        assert "busiest channel: passive" in err.value.violations[0]
+
+    def test_per_channel_ceiling_names_the_channel(self):
+        budget = TransportBudget(per_channel={
+            "passive": TransportBudget(max_transactions=5)})
+        session = passive_session(budget)
+        with pytest.raises(BudgetExceededError) as err:
+            session.run(ms(20))
+        assert err.value.violations[0].startswith("channel 'passive':")
+
+    def test_per_channel_budget_for_quiet_channel_passes(self):
+        budget = TransportBudget(per_channel={
+            "active": TransportBudget(max_transactions=0)})
+        session = passive_session(budget)
+        # absent channel: informative warning, but no budget failure
+        with pytest.warns(UserWarning, match="cannot be enforced"):
+            session.run(ms(20))
+        assert not session.budget_failed
+
+    def test_absent_channel_label_warns_once(self):
+        # a typo'd label ('pasive') can never be enforced; say so
+        import warnings
+        budget = TransportBudget(per_channel={
+            "pasive": TransportBudget(max_transactions=5)})
+        session = passive_session(budget)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session.run(ms(5))
+            session.run_for(ms(5))
+        said = [w for w in caught if "pasive" in str(w.message)]
+        assert len(said) == 1  # once per session, not per run
+        assert "cannot be enforced" in str(said[0].message)
+
+    def test_add_debug_link_is_idempotent(self):
+        session = passive_session()
+        session.run(ms(5))
+        before = session.transport_stats()["transactions"]
+        node = session.system.nodes()[0]
+        # relabeling an already-tracked per-node link must not double-book
+        session.add_debug_link(session.links[node])
+        session.add_debug_link(session.links[node])
+        assert session.transport_stats()["transactions"] == before
+
+    def test_nested_per_channel_budget_rejected(self):
+        # channel stats rows carry no further breakdown: a nested
+        # sub-budget could never fire, so refuse it at construction
+        with pytest.raises(DebuggerError):
+            TransportBudget(per_channel={"passive": TransportBudget(
+                per_channel={"inspect": TransportBudget(max_cost_us=0)})})
+
+    def test_raw_stats_without_channels_still_work(self):
+        # violations() accepts bare aggregate dicts (no breakdown)
+        budget = TransportBudget(max_transactions=5)
+        found = budget.violations({"transactions": 7, "cost_us_total": 0})
+        assert found == ["7 transactions > budget 5"]
