@@ -29,16 +29,23 @@ def dig(data, dotted_path: str):
     return node
 
 
-def main() -> int:
-    quick = "--quick" in sys.argv
-    with open(os.path.join(HERE, "FLOORS.json"), encoding="utf-8") as handle:
+def check(here: str, quick: bool):
+    """Evaluate every FLOORS.json entry; returns (ok_lines, failures).
+
+    Every failure mode is a *clean* entry in ``failures`` — including a
+    scoreboard metric that is not a number (``null``, a string, a
+    nested object...), which used to escape as an uncaught ``TypeError``
+    at the comparison and crash the gate instead of reporting it.
+    """
+    with open(os.path.join(here, "FLOORS.json"), encoding="utf-8") as handle:
         floors = json.load(handle)
 
+    ok_lines = []
     failures = []
     for name, spec in floors.items():
         stem = spec.get("file", name)
         filename = f"{stem}_quick.json" if quick else f"{stem}.json"
-        path = os.path.join(HERE, filename)
+        path = os.path.join(here, filename)
         if not os.path.exists(path):
             failures.append(f"{name}: scoreboard {filename} missing")
             continue
@@ -49,6 +56,12 @@ def main() -> int:
         except (KeyError, TypeError):
             failures.append(f"{name}: metric {spec['metric']!r} "
                             f"not found in {filename}")
+            continue
+        if not isinstance(value, (int, float)):
+            # bool is numeric enough (parity flags compare fine); None,
+            # strings and containers would TypeError at the comparisons
+            failures.append(f"{name}: metric {spec['metric']} is "
+                            f"non-numeric ({value!r})")
             continue
         if "floor" not in spec and "ceiling" not in spec:
             failures.append(f"{name}: spec has neither floor nor ceiling")
@@ -65,8 +78,15 @@ def main() -> int:
         if not violated:
             bounds = ", ".join(f"{key} {spec[key]}"
                                for key in ("floor", "ceiling") if key in spec)
-            print(f"ok: {name} {spec['metric']} = {value} ({bounds})")
+            ok_lines.append(f"ok: {name} {spec['metric']} = {value} ({bounds})")
+    return ok_lines, failures
 
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    ok_lines, failures = check(HERE, quick)
+    for line in ok_lines:
+        print(line)
     if failures:
         for failure in failures:
             print(f"FLOOR VIOLATION - {failure}", file=sys.stderr)

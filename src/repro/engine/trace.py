@@ -81,24 +81,40 @@ class ExecutionTrace:
 
     ``capacity=None`` (default) keeps everything; ``capacity=N`` keeps the
     newest N events in a ring buffer and counts evictions in ``dropped``.
-    The ring is a plain list plus a head index, so indexed access stays
-    O(1) — sequential replay over a bounded window is linear, not
-    quadratic.
+    The ring policy (persist-first, overwrite-at-head, seq-line
+    continuation) lives in :class:`~repro.tracedb.spillring.SpillRing`,
+    shared structurally with :class:`~repro.rtos.kernel.DtmKernel`'s job
+    ring — so the two recorders cannot drift apart by convention.
+    Indexed access stays O(1) — sequential replay over a bounded window
+    is linear, not quadratic.
     """
 
     def __init__(self, capacity: Optional[int] = None,
                  spill: Optional[object] = None) -> None:
-        if capacity is not None and capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
-        self.capacity = capacity
-        #: optional TraceStore receiving every event (ring becomes a cache)
-        self.spill = spill
-        self._events: List[TraceEvent] = []
-        self._head = 0  # index of the oldest event once the ring wrapped
-        self.dropped = 0
-        # A trace over a resumed (reattached) store continues the store's
-        # seq line — its appends must land at store.next_seq, not 0.
-        self._seq = getattr(spill, "next_seq", 0) if spill is not None else 0
+        # deferred, like DtmKernel's: tracedb's store module defers its
+        # TraceEvent import from *this* module, so a module-level import
+        # here would couple the two packages into a latent import cycle
+        from repro.tracedb.spillring import SpillRing
+        self._ring = SpillRing(capacity, spill)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Ring capacity (None: unbounded)."""
+        return self._ring.capacity
+
+    @property
+    def spill(self) -> Optional[object]:
+        """The TraceStore receiving every event (None: in-memory only).
+
+        Read-only delegation to the ring — a second mutable copy here
+        could silently diverge from the recording path.
+        """
+        return self._ring.spill
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted without a spill store (0 while spilling)."""
+        return self._ring.dropped
 
     def record(self, command: Command, reactions: Sequence[ReactionRecord],
                engine_state: str) -> TraceEvent:
@@ -108,17 +124,9 @@ class ExecutionTrace:
         later ring eviction only drops the in-memory cached copy and
         ``dropped`` stays 0 — no history is lost.
         """
-        event = TraceEvent(self._seq, command, reactions, engine_state)
-        self._seq += 1
-        if self.spill is not None:
-            self.spill.append(event.to_dict())
-        if self.capacity is not None and len(self._events) == self.capacity:
-            self._events[self._head] = event
-            self._head = (self._head + 1) % self.capacity
-            if self.spill is None:
-                self.dropped += 1
-        else:
-            self._events.append(event)
+        event = TraceEvent(self._ring.next_seq, command, reactions,
+                           engine_state)
+        self._ring.append(event, encode=TraceEvent.to_dict)
         return event
 
     def full_history(self):
@@ -144,28 +152,22 @@ class ExecutionTrace:
         replay truncation guard still fires instead of presenting a
         500-event store as an empty history.
         """
-        if not self._events:
-            return self._seq
-        return self._events[self._head].seq
+        ring = self._ring
+        if not ring.items:
+            return ring.next_seq
+        return ring.items[ring.head].seq
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._ring)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        events = self._events
-        if self._head == 0:
-            return iter(events)
-        return iter(events[self._head:] + events[:self._head])
+        return iter(self._ring)
 
     def __getitem__(self, index: int) -> TraceEvent:
-        events = self._events
-        if self._head == 0:
-            return events[index]
-        if index < 0:
-            index += len(events)
-        if not 0 <= index < len(events):
-            raise IndexError(f"trace index {index} out of range")
-        return events[(self._head + index) % len(events)]
+        try:
+            return self._ring.at(index)
+        except IndexError:
+            raise IndexError(f"trace index {index} out of range") from None
 
     def events(self, kind: Optional[CommandKind] = None,
                path_prefix: str = "") -> List[TraceEvent]:
@@ -180,23 +182,24 @@ class ExecutionTrace:
 
     def duration_us(self) -> int:
         """Host-time span covered by the trace."""
-        if not self._events:
+        if not len(self._ring):
             return 0
-        return (self[len(self._events) - 1].command.t_host
+        return (self[len(self._ring) - 1].command.t_host
                 - self[0].command.t_host)
 
     def counts_by_path(self) -> Dict[str, int]:
         """Event count per source path."""
         counts: Dict[str, int] = {}
-        for event in self._events:  # order-independent: raw storage is fine
+        for event in self._ring.items:  # order-independent: raw storage fine
             counts[event.command.path] = counts.get(event.command.path, 0) + 1
         return counts
 
     def mean_latency_us(self) -> Optional[float]:
         """Average host-arrival latency of traced commands."""
-        if not self._events:
+        events = self._ring.items
+        if not events:
             return None
-        return sum(e.command.latency_us for e in self._events) / len(self._events)
+        return sum(e.command.latency_us for e in events) / len(events)
 
     # -- serialization --------------------------------------------------------
 
@@ -209,9 +212,9 @@ class ExecutionTrace:
         """Restore a serialized trace."""
         trace = cls()
         for record in data:
-            trace._events.append(TraceEvent.from_dict(record))
-        if trace._events:
-            trace._seq = trace._events[-1].seq + 1
+            trace._ring.items.append(TraceEvent.from_dict(record))
+        if trace._ring.items:
+            trace._ring.resume_seq(trace._ring.items[-1].seq + 1)
         return trace
 
     def save(self, path: str) -> None:

@@ -109,13 +109,10 @@ class DtmKernel:
             from repro.tracedb.store import DEFAULT_SPILL_CACHE_EVENTS
             record_capacity = DEFAULT_SPILL_CACHE_EVENTS
         self.record_capacity = record_capacity
-        self.record_spill = record_spill
-        # continue a resumed store's seq line (0 for a fresh store)
-        self._record_seq = (getattr(record_spill, "next_seq", 0)
-                            if record_spill is not None else 0)
-        self._records: List[JobRecord] = []
-        self._records_head = 0
-        self.records_dropped = 0
+        # the persist-first/overwrite-at-head policy is the SAME helper
+        # ExecutionTrace uses — structural mirror, not by-convention
+        from repro.tracedb.spillring import SpillRing
+        self._ring = SpillRing(record_capacity, record_spill)
         self.deadline_misses = 0
         self.jobs_skipped = 0
         self._job_index: Dict[str, int] = {
@@ -245,31 +242,29 @@ class DtmKernel:
     def _append_record(self, record: JobRecord) -> None:
         """Append (overwriting the oldest when at capacity).
 
-        With a spill store attached the record is persisted first, so
-        eviction only drops the cached copy and the dropped counter
-        stays 0 — the full job history remains streamable.
+        With a spill store attached the record is persisted first
+        (:class:`~repro.tracedb.spillring.SpillRing` semantics, shared
+        with :class:`~repro.engine.trace.ExecutionTrace`), so eviction
+        only drops the cached copy and the dropped counter stays 0 —
+        the full job history remains streamable. The spill store stamps
+        each record's seq, continuing a resumed store's line.
         """
-        if self.record_spill is not None:
-            spilled = record.to_dict()
-            spilled["seq"] = self._record_seq
-            self._record_seq += 1
-            self.record_spill.append(spilled)
-        if (self.record_capacity is not None
-                and len(self._records) == self.record_capacity):
-            self._records[self._records_head] = record
-            self._records_head = (self._records_head + 1) % self.record_capacity
-            if self.record_spill is None:
-                self.records_dropped += 1
-        else:
-            self._records.append(record)
+        self._ring.append(record, encode=JobRecord.to_dict)
+
+    @property
+    def record_spill(self) -> Optional[object]:
+        """The TraceStore receiving every record (read-only: the ring's)."""
+        return self._ring.spill
+
+    @property
+    def records_dropped(self) -> int:
+        """Records evicted without a spill store (0 while spilling)."""
+        return self._ring.dropped
 
     @property
     def records(self) -> List[JobRecord]:
         """Job records, oldest first (the newest N in ring mode)."""
-        if self._records_head == 0:
-            return list(self._records)
-        return (self._records[self._records_head:]
-                + self._records[:self._records_head])
+        return self._ring.snapshot()
 
     def spilled_records(self):
         """Stream the *full* job-record history from the spill store.

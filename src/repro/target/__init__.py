@@ -57,6 +57,48 @@ access outside RAM, divide/modulo by zero, jump or pc outside code.
 Cycle costs model a small in-order MCU; EMIT's cost is deliberately large
 (formatting + UART FIFO push) because it *is* the instrumentation overhead
 the paper's passive JTAG solution eliminates (benchmark E7).
+
+Superinstructions
+=================
+
+Generated firmware is dominated by a handful of rigid shapes, so
+:meth:`~repro.target.cpu.Cpu.load` runs a fusion pass (on by default;
+``Cpu(fuse=False)`` keeps the reference decoding) that collapses them
+into single decoded rows dispatched by a dedicated fast loop:
+
+========================================== ================================
+Constituent sequence                        Fused row
+========================================== ================================
+``[LOAD|PUSH] a; [LOAD|PUSH] b; <alu>;     ALU+STORE quad (one dispatch
+STORE y``                                  computes ``m[y]``)
+``[LOAD|PUSH] a; [LOAD|PUSH] b; <alu>;     ALU+branch quad (state-machine
+JZ/JNZ t``                                 dispatch, loop back-edges)
+``PUSH k; STORE y``                        constant store
+``LOAD a; STORE y``                        move (Delay outputs, port copies)
+``LOAD a; JZ/JNZ t``                       load-and-test
+========================================== ================================
+
+``<alu>`` is any binary op (``a b -- r``), DIV/MOD included.
+
+**Branch-target rule.** No fused row spans a jump target, a task entry,
+or the end of code; fusing may *start* at one (that is what keeps loop
+bodies fused). Interior pcs of a fused region keep their plain decoded
+rows, so an undeclared entry or a resume from a mid-sequence stop simply
+executes unfused.
+
+**Timing-identity invariant.** Fusion is observably invisible: a fused
+row charges the exact sum of its constituents' cycle costs, counts their
+instruction count and performs their RAM reads/writes. Whenever fused
+execution could be *observed* to differ — the instruction budget lands
+mid-sequence, an address is outside RAM, the constituents' transient
+stack pushes would overflow, or a fused divide sees a zero divisor — the
+row decomposes back to per-instruction execution, so LIMIT stops land on
+a legal unfused pc and faults carry the constituent's pc and counters.
+Debug features are untouched: breakpoints, watchpoints and
+single-stepping route to the per-instruction checked loop exactly as
+before, at any pc. ``tests/test_superinstructions.py`` holds the
+lockstep proof; ``benchmarks/perf_interp.py`` scores the speedup
+(``fusion_speedup``, floor-gated in CI).
 """
 
 from repro.target.assembler import Assembler, disassemble

@@ -50,7 +50,9 @@ class Board:
                 f"data words but the board has {len(self.memory)}"
             )
         self.firmware = firmware
-        self.cpu.load(firmware.code)
+        # task entries are fusion boundaries: no superinstruction may span
+        # one, so every reset_task lands on a legal decoded row
+        self.cpu.load(firmware.code, entries=firmware.entries.values())
         self.memory.load_init_image(firmware.data_init)
         self.memory.reset()
 

@@ -37,11 +37,13 @@ from typing import Callable, List, NamedTuple, Optional, Sequence, Set, Tuple
 from repro.errors import TargetFault
 from repro.target.isa import (
     CYCLES,
+    FUSABLE_ALU,
     Instr,
-    OP_ADD, OP_AND, OP_DIV, OP_DUP, OP_EMIT, OP_EQ, OP_GE, OP_GT, OP_HALT,
-    OP_JMP, OP_JNZ, OP_JZ, OP_LDI, OP_LE, OP_LOAD, OP_LT, OP_MAX, OP_MIN,
-    OP_MOD, OP_MUL, OP_NE, OP_NEG, OP_NOT, OP_OR, OP_POP, OP_PUSH, OP_STI,
-    OP_STORE, OP_SUB, OP_SWAP,
+    OP_ADD, OP_AND, OP_DIV, OP_DUP, OP_EMIT, OP_EQ, OP_F_ALU_JNZ,
+    OP_F_ALU_JZ, OP_F_ALU_ST, OP_F_LOAD_JNZ, OP_F_LOAD_JZ, OP_F_LOAD_ST,
+    OP_F_PUSH_ST, OP_GE, OP_GT, OP_HALT, OP_JMP, OP_JNZ, OP_JZ, OP_LDI,
+    OP_LE, OP_LOAD, OP_LT, OP_MAX, OP_MIN, OP_MOD, OP_MUL, OP_NE, OP_NEG,
+    OP_NOT, OP_OR, OP_POP, OP_PUSH, OP_STI, OP_STORE, OP_SUB, OP_SWAP,
 )
 from repro.target.memory import RAM_BASE
 from repro.target.peripherals import Gpio
@@ -74,12 +76,14 @@ class Cpu:
     """Stack-machine core over a :class:`~repro.target.memory.MemoryMap`."""
 
     def __init__(self, memory, gpio: Optional[Gpio] = None,
-                 stack_depth: int = 128) -> None:
+                 stack_depth: int = 128, fuse: bool = True) -> None:
         if stack_depth <= 0:
             raise TargetFault(f"stack depth must be positive, got {stack_depth}")
         self.memory = memory
         self.gpio = gpio if gpio is not None else Gpio()
         self.stack_depth = stack_depth
+        #: superinstruction fusion at load time (off: reference decoding only)
+        self.fuse = fuse
         self.stack: List[int] = []
         self.pc = 0
         self.cycles = 0
@@ -91,17 +95,32 @@ class Cpu:
         self.code: List[Instr] = []
         # decoded program: one packed (op, arg, cycles) row per pc
         self._rows: List[Tuple[int, int, int]] = []
+        # fused program: same length, a superinstruction row wherever a
+        # fusable sequence starts, the plain row everywhere else (so any
+        # pc — mid-sequence resume, undeclared entry — executes legally).
+        # None when fusion is off or found nothing.
+        self._frows: Optional[List[tuple]] = None
+        #: number of superinstruction rows installed by the last load
+        self.fused_rows = 0
         # pc of the last breakpoint stop, so resuming steps over it
         self._resume_pc = -1
 
     # -- program loading ---------------------------------------------------
 
-    def load(self, code: Sequence[Instr]) -> None:
+    def load(self, code: Sequence[Instr],
+             entries: Optional[Sequence[int]] = None) -> None:
         """Decode *code* once: strings -> ints, costs precomputed.
 
         PUSH immediates are truncated to int32 here, like a real encoder's
         immediate field — the machine's cells-are-int32 invariant must hold
         even for hand-built (or fault-corrupted) out-of-range constants.
+
+        With :attr:`fuse` on, a second pass fuses the codegen's regular
+        sequences into superinstruction rows. *entries* names task entry
+        pcs; like jump targets, no fusion spans one (fusing *at* one is
+        fine). Entries the caller forgot are still safe — interior pcs of
+        a fused sequence keep their plain rows, so entering one simply
+        executes unfused — declared boundaries just fuse better.
         """
         self.code = list(code)
         self._rows = [
@@ -111,6 +130,10 @@ class Cpu:
              CYCLES[instr.code])
             for instr in self.code
         ]
+        self._frows = None
+        self.fused_rows = 0
+        if self.fuse:
+            self._fuse_rows(entries)
         self.pc = 0
         self.stack.clear()
         self.halted = True
@@ -118,6 +141,85 @@ class Cpu:
         self.instructions = 0
         self.emit_log.clear()
         self._resume_pc = -1
+
+    def _fuse_rows(self, entries: Optional[Sequence[int]]) -> None:
+        """Install superinstruction rows over the decoded program.
+
+        Greedy longest-match over the plain rows: quads
+        (``operand operand alu STORE/JZ/JNZ``) first, then pairs
+        (``PUSH/LOAD STORE`` moves and ``LOAD JZ/JNZ`` tests). A fused
+        row never spans a branch target or task entry — the sequence
+        starting *at* such a boundary fuses normally, which is what lets
+        loop bodies stay fused. Operand fields are precomputed: RAM
+        indexes for LOAD-mode operands, wrapped immediates for PUSH-mode;
+        the row's cost is the exact sum of constituent CYCLES.
+        """
+        rows = self._rows
+        ncode = len(rows)
+        boundaries = set(entries or ())
+        for op, arg, _ in rows:
+            if op == OP_JMP or op == OP_JZ or op == OP_JNZ:
+                if 0 <= arg < ncode:
+                    boundaries.add(arg)
+        frows: List[tuple] = list(rows)
+        fused = 0
+        ram_base = RAM_BASE
+        i = 0
+        while i < ncode:
+            op, arg, cst = rows[i]
+            # quad: [LOAD|PUSH] a; [LOAD|PUSH] b; <alu>; STORE|JZ|JNZ
+            if ((op == OP_LOAD or op == OP_PUSH) and i + 3 < ncode
+                    and i + 1 not in boundaries and i + 2 not in boundaries
+                    and i + 3 not in boundaries):
+                op2, arg2, cst2 = rows[i + 1]
+                op3, _, cst3 = rows[i + 2]
+                op4, arg4, cst4 = rows[i + 3]
+                if ((op2 == OP_LOAD or op2 == OP_PUSH)
+                        and op3 in FUSABLE_ALU
+                        and (op4 == OP_STORE
+                             or ((op4 == OP_JZ or op4 == OP_JNZ)
+                                 and 0 <= arg4 < ncode))):
+                    amode = op == OP_LOAD
+                    bmode = op2 == OP_LOAD
+                    if op4 == OP_STORE:
+                        fop = OP_F_ALU_ST
+                        dest = arg4 - ram_base
+                    elif op4 == OP_JZ:
+                        fop, dest = OP_F_ALU_JZ, arg4
+                    else:
+                        fop, dest = OP_F_ALU_JNZ, arg4
+                    frows[i] = (fop,
+                                (amode, arg - ram_base if amode else arg,
+                                 bmode, arg2 - ram_base if bmode else arg2,
+                                 op3, dest),
+                                cst + cst2 + cst3 + cst4)
+                    fused += 1
+                    i += 4
+                    continue
+            # pair: PUSH/LOAD + STORE, LOAD + JZ/JNZ
+            if i + 1 < ncode and i + 1 not in boundaries:
+                op2, arg2, cst2 = rows[i + 1]
+                pair = None
+                if op2 == OP_STORE:
+                    if op == OP_PUSH:
+                        pair = (OP_F_PUSH_ST, (arg, arg2 - ram_base))
+                    elif op == OP_LOAD:
+                        pair = (OP_F_LOAD_ST,
+                                (arg - ram_base, arg2 - ram_base))
+                elif op == OP_LOAD and 0 <= arg2 < ncode:
+                    if op2 == OP_JZ:
+                        pair = (OP_F_LOAD_JZ, (arg - ram_base, arg2))
+                    elif op2 == OP_JNZ:
+                        pair = (OP_F_LOAD_JNZ, (arg - ram_base, arg2))
+                if pair is not None:
+                    frows[i] = (pair[0], pair[1], cst + cst2)
+                    fused += 1
+                    i += 2
+                    continue
+            i += 1
+        if fused:
+            self._frows = frows
+            self.fused_rows = fused
 
     def reset_task(self, entry: int) -> None:
         """Point the CPU at a task entry with an empty stack."""
@@ -147,6 +249,10 @@ class Cpu:
                                    break_on_breakpoints)
         # uncontrolled execution invalidates any pending resume-over marker
         self._resume_pc = -1
+        # fuse is re-consulted here so toggling it after load() (Board
+        # exposes no fuse parameter) honestly selects the reference loop
+        if self.fuse and self._frows is not None:
+            return self._run_fused(max_instructions)
         return self._run_fast(max_instructions)
 
     def _run_fast(self, limit: int) -> RunResult:
@@ -364,6 +470,412 @@ class Cpu:
             # The two structural faults surface as IndexError of the list
             # access itself — no per-instruction guard needed. An emit
             # handler's own IndexError propagates untouched.
+            if in_handler:
+                raise
+            if not 0 <= pc < ncode:
+                raise TargetFault("pc ran outside the code", pc) from None
+            if not stack:
+                raise TargetFault("stack underflow", pc) from None
+            raise
+        finally:
+            self.pc = pc
+            self.cycles = base_cycles + run_cycles
+            self.instructions += n
+            memory.reads += reads
+            memory.writes += writes
+        return RunResult(reason, n, run_cycles)
+
+    def _run_fused(self, limit: int) -> RunResult:
+        """The superinstruction hot loop: fused rows dispatch first.
+
+        Timing identity with :meth:`_run_fast` is the contract: every
+        fused row charges the summed constituent cycles, counts the
+        constituent instructions and performs the constituent memory
+        accesses. Whenever fused execution could be *observably*
+        different — the instruction budget lands mid-sequence, an
+        operand or store address is outside RAM, the transient stack
+        headroom the constituent pushes need is missing, or a fused
+        divide sees a zero divisor — the row **decomposes**: the loop
+        swaps to the plain decoded rows and re-executes the same pc
+        unfused, so budget stops land on a legal unfused pc and faults
+        surface with the exact pc/counters of the constituent sequence.
+        (Interior pcs of a fused region always hold plain rows, so
+        resuming from such a stop is automatically legal.)
+        """
+        memory = self.memory
+        prows = self._rows
+        rows: List[tuple] = self._frows
+        ncode = len(prows)
+        cells = memory.cells
+        nram = len(cells)
+        stack = self.stack
+        append = stack.append
+        pop = stack.pop
+        depth = self.stack_depth
+        emit_log = self.emit_log
+        handler = self.emit_handler
+        base_cycles = self.cycles
+        sdiv_ = sdiv
+        smod_ = smod
+        int_max = INT_MAX
+        int_min = INT_MIN
+        ram_base = RAM_BASE
+        # fused ids first: after fusion they dominate the decoded stream
+        F_ALU_ST = OP_F_ALU_ST; F_ALU_JZ = OP_F_ALU_JZ
+        F_ALU_JNZ = OP_F_ALU_JNZ; F_PUSH_ST = OP_F_PUSH_ST
+        F_LOAD_ST = OP_F_LOAD_ST; F_LOAD_JZ = OP_F_LOAD_JZ
+        F_LOAD_JNZ = OP_F_LOAD_JNZ
+        LOAD = OP_LOAD; PUSH = OP_PUSH; STORE = OP_STORE; ADD = OP_ADD
+        EQ = OP_EQ; NE = OP_NE; LT = OP_LT; LE = OP_LE; GT = OP_GT; GE = OP_GE
+        JMP = OP_JMP; JZ = OP_JZ; JNZ = OP_JNZ; SUB = OP_SUB; MUL = OP_MUL
+        MIN = OP_MIN; MAX = OP_MAX; AND = OP_AND; OR = OP_OR; NOT = OP_NOT
+        NEG = OP_NEG; DUP = OP_DUP; MOD = OP_MOD; DIV = OP_DIV
+        SWAP = OP_SWAP; POPC = OP_POP; LDI = OP_LDI; STI = OP_STI
+        EMIT = OP_EMIT; HALT = OP_HALT
+
+        pc = self.pc
+        run_cycles = 0
+        n = 0
+        reads = 0
+        writes = 0
+        in_handler = False
+        reason = StopReason.LIMIT
+        try:
+            while n < limit:
+                op, arg, cst = rows[pc]
+                run_cycles += cst
+                n += 1
+                if op == F_ALU_ST:
+                    amode, aval, bmode, bval, alu, yi = arg
+                    if (n + 3 > limit or not 0 <= yi < nram
+                            or len(stack) + 2 > depth
+                            or (amode and not 0 <= aval < nram)
+                            or (bmode and not 0 <= bval < nram)):
+                        rows = prows
+                        run_cycles -= cst
+                        n -= 1
+                        continue
+                    a = cells[aval] if amode else aval
+                    b = cells[bval] if bmode else bval
+                    if alu == ADD:
+                        r = a + b
+                        if r > int_max or r < int_min:
+                            r = ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+                    elif alu == EQ:
+                        r = 1 if a == b else 0
+                    elif alu == LT:
+                        r = 1 if a < b else 0
+                    elif alu == SUB:
+                        r = a - b
+                        if r > int_max or r < int_min:
+                            r = ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+                    elif alu == GE:
+                        r = 1 if a >= b else 0
+                    elif alu == NE:
+                        r = 1 if a != b else 0
+                    elif alu == LE:
+                        r = 1 if a <= b else 0
+                    elif alu == GT:
+                        r = 1 if a > b else 0
+                    elif alu == MUL:
+                        r = a * b
+                        if r > int_max or r < int_min:
+                            r = ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+                    elif alu == MIN:
+                        r = a if a <= b else b
+                    elif alu == MAX:
+                        r = a if a >= b else b
+                    elif alu == AND:
+                        r = 1 if (a != 0 and b != 0) else 0
+                    elif alu == OR:
+                        r = 1 if (a != 0 or b != 0) else 0
+                    elif alu == DIV:
+                        if b == 0:  # trap must surface unfused
+                            rows = prows
+                            run_cycles -= cst
+                            n -= 1
+                            continue
+                        r = sdiv_(a, b)
+                    else:  # MOD
+                        if b == 0:
+                            rows = prows
+                            run_cycles -= cst
+                            n -= 1
+                            continue
+                        r = smod_(a, b)
+                    cells[yi] = r
+                    reads += amode + bmode
+                    writes += 1
+                    n += 3
+                    pc += 4
+                elif op == F_ALU_JZ or op == F_ALU_JNZ:
+                    amode, aval, bmode, bval, alu, target = arg
+                    if (n + 3 > limit or len(stack) + 2 > depth
+                            or (amode and not 0 <= aval < nram)
+                            or (bmode and not 0 <= bval < nram)):
+                        rows = prows
+                        run_cycles -= cst
+                        n -= 1
+                        continue
+                    a = cells[aval] if amode else aval
+                    b = cells[bval] if bmode else bval
+                    if alu == EQ:
+                        r = a == b
+                    elif alu == LT:
+                        r = a < b
+                    elif alu == GE:
+                        r = a >= b
+                    elif alu == NE:
+                        r = a != b
+                    elif alu == LE:
+                        r = a <= b
+                    elif alu == GT:
+                        r = a > b
+                    elif alu == AND:
+                        r = a != 0 and b != 0
+                    elif alu == OR:
+                        r = a != 0 or b != 0
+                    elif alu == MIN:
+                        r = (a if a <= b else b) != 0
+                    elif alu == MAX:
+                        r = (a if a >= b else b) != 0
+                    elif alu == ADD:
+                        r = (a + b) % 0x100000000 != 0
+                    elif alu == SUB:
+                        r = a != b
+                    elif alu == MUL:
+                        r = (a * b) % 0x100000000 != 0
+                    elif alu == DIV:
+                        if b == 0:
+                            rows = prows
+                            run_cycles -= cst
+                            n -= 1
+                            continue
+                        r = sdiv_(a, b) != 0
+                    else:  # MOD
+                        if b == 0:
+                            rows = prows
+                            run_cycles -= cst
+                            n -= 1
+                            continue
+                        r = smod_(a, b) != 0
+                    reads += amode + bmode
+                    n += 3
+                    if op == F_ALU_JNZ:
+                        pc = target if r else pc + 4
+                    else:
+                        pc = pc + 4 if r else target
+                elif op == F_PUSH_ST:
+                    imm, yi = arg
+                    if (n >= limit or not 0 <= yi < nram
+                            or len(stack) >= depth):
+                        rows = prows
+                        run_cycles -= cst
+                        n -= 1
+                        continue
+                    cells[yi] = imm
+                    writes += 1
+                    n += 1
+                    pc += 2
+                elif op == F_LOAD_ST:
+                    ai, yi = arg
+                    if (n >= limit or not 0 <= ai < nram
+                            or not 0 <= yi < nram or len(stack) >= depth):
+                        rows = prows
+                        run_cycles -= cst
+                        n -= 1
+                        continue
+                    cells[yi] = cells[ai]
+                    reads += 1
+                    writes += 1
+                    n += 1
+                    pc += 2
+                elif op == F_LOAD_JZ or op == F_LOAD_JNZ:
+                    ai, target = arg
+                    if (n >= limit or not 0 <= ai < nram
+                            or len(stack) >= depth):
+                        rows = prows
+                        run_cycles -= cst
+                        n -= 1
+                        continue
+                    reads += 1
+                    n += 1
+                    if (cells[ai] != 0) == (op == F_LOAD_JNZ):
+                        pc = target
+                    else:
+                        pc += 2
+                elif op == LOAD:
+                    index = arg - ram_base
+                    if not 0 <= index < nram:
+                        raise TargetFault(
+                            f"LOAD outside RAM: 0x{arg:08x}", pc)
+                    if len(stack) >= depth:
+                        raise TargetFault("stack overflow", pc)
+                    append(cells[index])
+                    reads += 1
+                    pc += 1
+                elif op == PUSH:
+                    if len(stack) >= depth:
+                        raise TargetFault("stack overflow", pc)
+                    append(arg)
+                    pc += 1
+                elif op == STORE:
+                    index = arg - ram_base
+                    if not 0 <= index < nram:
+                        raise TargetFault(
+                            f"STORE outside RAM: 0x{arg:08x}", pc)
+                    cells[index] = pop()
+                    writes += 1
+                    pc += 1
+                elif op == ADD:
+                    b = pop(); a = pop()
+                    r = a + b
+                    if r > int_max or r < int_min:
+                        r = ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+                    append(r)
+                    pc += 1
+                elif op == EQ:
+                    b = pop(); a = pop()
+                    append(1 if a == b else 0)
+                    pc += 1
+                elif op == NE:
+                    b = pop(); a = pop()
+                    append(1 if a != b else 0)
+                    pc += 1
+                elif op == LT:
+                    b = pop(); a = pop()
+                    append(1 if a < b else 0)
+                    pc += 1
+                elif op == LE:
+                    b = pop(); a = pop()
+                    append(1 if a <= b else 0)
+                    pc += 1
+                elif op == GT:
+                    b = pop(); a = pop()
+                    append(1 if a > b else 0)
+                    pc += 1
+                elif op == GE:
+                    b = pop(); a = pop()
+                    append(1 if a >= b else 0)
+                    pc += 1
+                elif op == JMP:
+                    if not 0 <= arg < ncode:
+                        raise TargetFault(f"JMP target {arg} outside code",
+                                          pc)
+                    pc = arg
+                elif op == JZ:
+                    if pop() == 0:
+                        if not 0 <= arg < ncode:
+                            raise TargetFault(
+                                f"JZ target {arg} outside code", pc)
+                        pc = arg
+                    else:
+                        pc += 1
+                elif op == JNZ:
+                    if pop() != 0:
+                        if not 0 <= arg < ncode:
+                            raise TargetFault(
+                                f"JNZ target {arg} outside code", pc)
+                        pc = arg
+                    else:
+                        pc += 1
+                elif op == SUB:
+                    b = pop(); a = pop()
+                    r = a - b
+                    if r > int_max or r < int_min:
+                        r = ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+                    append(r)
+                    pc += 1
+                elif op == MUL:
+                    b = pop(); a = pop()
+                    r = a * b
+                    if r > int_max or r < int_min:
+                        r = ((r + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+                    append(r)
+                    pc += 1
+                elif op == MIN:
+                    b = pop(); a = pop()
+                    append(a if a <= b else b)
+                    pc += 1
+                elif op == MAX:
+                    b = pop(); a = pop()
+                    append(a if a >= b else b)
+                    pc += 1
+                elif op == AND:
+                    b = pop(); a = pop()
+                    append(1 if (a != 0 and b != 0) else 0)
+                    pc += 1
+                elif op == OR:
+                    b = pop(); a = pop()
+                    append(1 if (a != 0 or b != 0) else 0)
+                    pc += 1
+                elif op == NOT:
+                    append(0 if pop() != 0 else 1)
+                    pc += 1
+                elif op == NEG:
+                    r = -pop()
+                    if r > int_max:
+                        r = int_min  # -INT_MIN wraps
+                    append(r)
+                    pc += 1
+                elif op == DUP:
+                    if len(stack) >= depth:
+                        raise TargetFault("stack overflow", pc)
+                    append(stack[-1])
+                    pc += 1
+                elif op == MOD:
+                    b = pop(); a = pop()
+                    if b == 0:
+                        raise TargetFault("modulo by zero", pc)
+                    append(smod_(a, b))
+                    pc += 1
+                elif op == DIV:
+                    b = pop(); a = pop()
+                    if b == 0:
+                        raise TargetFault("division by zero", pc)
+                    append(sdiv_(a, b))
+                    pc += 1
+                elif op == SWAP:
+                    b = pop(); a = pop()
+                    append(b)
+                    append(a)
+                    pc += 1
+                elif op == POPC:
+                    pop()
+                    pc += 1
+                elif op == LDI:
+                    index = pop() - ram_base
+                    if not 0 <= index < nram:
+                        raise TargetFault("LDI outside RAM", pc)
+                    append(cells[index])
+                    reads += 1
+                    pc += 1
+                elif op == STI:
+                    index = pop() - ram_base
+                    value = pop()
+                    if not 0 <= index < nram:
+                        raise TargetFault("STI outside RAM", pc)
+                    cells[index] = value
+                    writes += 1
+                    pc += 1
+                elif op == EMIT:
+                    value = pop()
+                    path_id = pop()
+                    kind = arg
+                    emit_log.append((kind, path_id, value))
+                    if handler is not None:
+                        # the handler reads self.cycles: sync before calling
+                        self.cycles = base_cycles + run_cycles
+                        in_handler = True
+                        handler(kind, path_id, value)
+                        in_handler = False
+                    pc += 1
+                else:  # HALT (the only remaining opcode)
+                    self.halted = True
+                    pc += 1
+                    reason = StopReason.HALTED
+                    break
+        except IndexError:
             if in_handler:
                 raise
             if not 0 <= pc < ncode:

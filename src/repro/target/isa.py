@@ -60,6 +60,41 @@ _CYCLE_TABLE = {
 #: cycle cost indexed by opcode int — used by the CPU's load-time decoder.
 CYCLES = tuple(_CYCLE_TABLE[name] for name in OPCODES)
 
+# -- superinstruction (fused) opcode ids -------------------------------------
+#
+# Decoded-only opcodes: :meth:`repro.target.cpu.Cpu.load`'s fusion pass
+# synthesizes rows carrying these ids for the codegen's regular sequences.
+# They are never assembled, never appear in an :class:`Instr`, and are
+# architecturally invisible — a fused row charges the *sum* of its
+# constituents' :data:`CYCLES`, counts their instruction count, performs
+# their reads/writes, and decomposes back to the constituent rows whenever
+# any observation (instruction budget, fault, transient stack pressure)
+# could tell the difference. See the superinstruction section of the
+# package docstring (``repro/target/__init__.py``) for the fusion rules.
+FUSE_BASE = len(OPCODES)
+#: [LOAD|PUSH] a; [LOAD|PUSH] b; <alu>; STORE y  (one decoded row)
+OP_F_ALU_ST = FUSE_BASE
+#: [LOAD|PUSH] a; [LOAD|PUSH] b; <alu>; JZ t
+OP_F_ALU_JZ = FUSE_BASE + 1
+#: [LOAD|PUSH] a; [LOAD|PUSH] b; <alu>; JNZ t
+OP_F_ALU_JNZ = FUSE_BASE + 2
+#: PUSH k; STORE y
+OP_F_PUSH_ST = FUSE_BASE + 3
+#: LOAD a; STORE y
+OP_F_LOAD_ST = FUSE_BASE + 4
+#: LOAD a; JZ t
+OP_F_LOAD_JZ = FUSE_BASE + 5
+#: LOAD a; JNZ t
+OP_F_LOAD_JNZ = FUSE_BASE + 6
+
+#: binary ALU opcodes legal as the third constituent of a fused quad
+#: (everything with stack effect ``a b -- r``; DIV/MOD fuse too — their
+#: divide-by-zero guard decomposes so the trap surfaces unfused).
+FUSABLE_ALU = frozenset((
+    OP_ADD, OP_SUB, OP_MUL, OP_EQ, OP_NE, OP_LT, OP_LE, OP_GT, OP_GE,
+    OP_MIN, OP_MAX, OP_AND, OP_OR, OP_DIV, OP_MOD,
+))
+
 
 def cycles_of(op: str) -> int:
     """Cycle cost of one *op* (by name), as accumulated by the CPU."""

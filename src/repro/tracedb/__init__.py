@@ -73,6 +73,7 @@ from repro.tracedb.collect import (
 from repro.tracedb.format import CODECS, encode_record
 from repro.tracedb.index import CheckpointInfo, StoreIndex
 from repro.tracedb.segment import SegmentInfo, read_segment
+from repro.tracedb.spillring import SpillRing
 from repro.tracedb.store import (
     DEFAULT_SEGMENT_EVENTS,
     DEFAULT_SPILL_CACHE_EVENTS,
@@ -87,6 +88,7 @@ __all__ = [
     "DEFAULT_SEGMENT_EVENTS",
     "DEFAULT_SPILL_CACHE_EVENTS",
     "SegmentInfo",
+    "SpillRing",
     "StoreIndex",
     "StoredTrace",
     "TraceStore",

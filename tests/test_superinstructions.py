@@ -1,0 +1,434 @@
+"""Lockstep proof that superinstruction fusion is observably invisible.
+
+``Cpu.load`` fuses the codegen's regular sequences into single decoded
+rows; the contract (ISA doc, ``repro/target/__init__.py``) is that fused
+execution is **bit-identical** to unfused execution at every stop:
+``pc``, ``cycles``, ``instructions``, stack, RAM, ``emit_log``,
+read/write counters and fault pcs — including budget stops landing
+mid-sequence and breakpoints armed over fused regions (which route to
+the per-instruction ``_run_debug`` loop). Randomized programs are
+codegen-shaped: operand/operand/alu/store quads, constant and move
+pairs, compare-and-branch, bounded loops, EMITs and unfusable filler.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import InstrumentationPlan
+from repro.codegen.pipeline import generate_firmware
+from repro.comdes.examples import traffic_light_system
+from repro.errors import TargetFault
+from repro.target.assembler import Assembler
+from repro.target.board import Board
+from repro.target.cpu import Cpu, StopReason
+from repro.target.isa import Instr
+from repro.target.memory import RAM_BASE, MemoryMap
+from repro.util.intmath import INT_MAX, INT_MIN
+
+RAM_WORDS = 12
+STACK_DEPTH = 16
+RUN_LIMIT = 50_000
+
+ALU_OPS = ("ADD", "SUB", "MUL", "EQ", "NE", "LT", "LE", "GT", "GE",
+           "MIN", "MAX", "AND", "OR", "DIV", "MOD")
+
+
+def build(code, fuse, entries=None, ram=RAM_WORDS, depth=STACK_DEPTH):
+    cpu = Cpu(MemoryMap(ram), stack_depth=depth, fuse=fuse)
+    cpu.load(code, entries=entries)
+    cpu.reset_task(0)
+    return cpu
+
+
+def snap(cpu):
+    """Every architecturally observable piece of machine state."""
+    memory = cpu.memory
+    return {
+        "pc": cpu.pc, "cycles": cpu.cycles, "instr": cpu.instructions,
+        "stack": list(cpu.stack), "ram": list(memory.cells),
+        "emit": list(cpu.emit_log), "halted": cpu.halted,
+        "reads": memory.reads, "writes": memory.writes,
+    }
+
+
+def run_guarded(cpu, limit=RUN_LIMIT):
+    """Run to a stop; faults become part of the observable outcome."""
+    try:
+        result = cpu.run(max_instructions=limit)
+        return (result.reason, None)
+    except TargetFault as fault:
+        return ("fault", (fault.reason, fault.pc))
+
+
+# -- program generator ------------------------------------------------------
+
+addr_ix = st.integers(0, RAM_WORDS - 1)
+imm = st.one_of(
+    st.integers(-40, 40),
+    st.sampled_from([INT_MIN, INT_MAX, INT_MIN + 1, INT_MAX - 1, 0, 1, -1]),
+)
+nonzero_imm = imm.filter(lambda v: v != 0)
+operand = st.tuples(st.booleans(), addr_ix, imm)  # (is_load, addr, imm)
+
+snip_alu_store = st.tuples(st.just("alu_store"), operand, operand,
+                           st.sampled_from(ALU_OPS), addr_ix, nonzero_imm)
+snip_const_store = st.tuples(st.just("const_store"), imm, addr_ix)
+snip_move = st.tuples(st.just("move"), addr_ix, addr_ix)
+snip_cmp_branch = st.tuples(st.just("cmp_branch"), operand, operand,
+                            st.sampled_from(("EQ", "NE", "LT", "LE", "GT",
+                                             "GE", "AND", "OR")),
+                            st.booleans(), imm, addr_ix)
+snip_load_branch = st.tuples(st.just("load_branch"), addr_ix, st.booleans(),
+                             imm, addr_ix)
+# the accumulator cell is drawn as a nonzero offset from the counter so
+# the two never collide (a shared cell would make the loop immortal)
+snip_loop = st.tuples(st.just("loop"), st.integers(1, 5), addr_ix,
+                      st.integers(1, RAM_WORDS - 1))
+snip_emit = st.tuples(st.just("emit"), st.integers(1, 5), operand,
+                      st.integers(1, 6))
+snip_plain = st.tuples(st.just("plain"), addr_ix, addr_ix)
+
+snippets = st.lists(
+    st.one_of(snip_alu_store, snip_const_store, snip_move, snip_cmp_branch,
+              snip_load_branch, snip_loop, snip_emit, snip_plain),
+    min_size=1, max_size=8,
+)
+
+
+def emit_operand(asm, opnd, nonzero_fallback=None):
+    is_load, ix, value = opnd
+    if is_load and nonzero_fallback is None:
+        asm.emit("LOAD", RAM_BASE + ix)
+    else:
+        if nonzero_fallback is not None:
+            value = nonzero_fallback
+        asm.emit("PUSH", value)
+
+
+def assemble_program(snips):
+    """Lower a snippet list to codegen-shaped stack code ending in HALT."""
+    asm = Assembler()
+    for snip in snips:
+        kind = snip[0]
+        if kind == "alu_store":
+            _, a, b, alu, y, safe = snip
+            emit_operand(asm, a)
+            # divides get a guaranteed-nonzero immediate divisor here;
+            # zero-divisor fault parity has its own deterministic tests
+            emit_operand(asm, b,
+                         nonzero_fallback=safe if alu in ("DIV", "MOD")
+                         else None)
+            asm.emit(alu)
+            asm.emit("STORE", RAM_BASE + y)
+        elif kind == "const_store":
+            _, value, y = snip
+            asm.emit("PUSH", value)
+            asm.emit("STORE", RAM_BASE + y)
+        elif kind == "move":
+            _, a, y = snip
+            asm.emit("LOAD", RAM_BASE + a)
+            asm.emit("STORE", RAM_BASE + y)
+        elif kind == "cmp_branch":
+            _, a, b, cmp, on_zero, value, y = snip
+            skip = asm.fresh_label("skip")
+            emit_operand(asm, a)
+            emit_operand(asm, b)
+            asm.emit(cmp)
+            asm.emit_jump("JZ" if on_zero else "JNZ", skip)
+            asm.emit("PUSH", value)
+            asm.emit("STORE", RAM_BASE + y)
+            asm.label(skip)
+        elif kind == "load_branch":
+            _, a, on_zero, value, y = snip
+            skip = asm.fresh_label("skip")
+            asm.emit("LOAD", RAM_BASE + a)
+            asm.emit_jump("JZ" if on_zero else "JNZ", skip)
+            asm.emit("PUSH", value)
+            asm.emit("STORE", RAM_BASE + y)
+            asm.label(skip)
+        elif kind == "loop":
+            _, count, counter, y_offset = snip
+            y = (counter + y_offset) % RAM_WORDS
+            top = asm.fresh_label("top")
+            asm.emit("PUSH", count)
+            asm.emit("STORE", RAM_BASE + counter)
+            asm.label(top)
+            asm.emit("LOAD", RAM_BASE + y)
+            asm.emit("PUSH", 1)
+            asm.emit("ADD")
+            asm.emit("STORE", RAM_BASE + y)
+            asm.emit("LOAD", RAM_BASE + counter)
+            asm.emit("PUSH", 1)
+            asm.emit("SUB")
+            asm.emit("STORE", RAM_BASE + counter)
+            asm.emit("LOAD", RAM_BASE + counter)
+            asm.emit_jump("JNZ", top)
+        elif kind == "emit":
+            _, path_id, value, cmd_kind = snip
+            asm.emit("PUSH", path_id)
+            emit_operand(asm, value)
+            asm.emit("EMIT", cmd_kind)
+        else:  # plain, unfusable filler
+            _, a, y = snip
+            asm.emit("LOAD", RAM_BASE + a)
+            asm.emit("NOT")
+            asm.emit("DUP")
+            asm.emit("POP")
+            asm.emit("STORE", RAM_BASE + y)
+    asm.emit("HALT")
+    return asm.assemble()
+
+
+# -- lockstep properties -----------------------------------------------------
+
+class TestLockstepProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(snips=snippets)
+    def test_fused_equals_unfused_to_halt(self, snips):
+        code = assemble_program(snips)
+        fused = build(code, fuse=True)
+        plain = build(code, fuse=False)
+        outcome_f = run_guarded(fused)
+        outcome_p = run_guarded(plain)
+        assert outcome_f == outcome_p
+        assert snap(fused) == snap(plain)
+
+    @settings(max_examples=40, deadline=None)
+    @given(snips=snippets,
+           chunks=st.lists(st.integers(1, 7), min_size=1, max_size=24))
+    def test_budget_stops_mid_sequence_are_identical(self, snips, chunks):
+        """LIMIT landing anywhere — including inside a fused quad — must
+        decompose to a legal unfused pc with identical counters, and
+        resuming from that pc must stay in lockstep."""
+        code = assemble_program(snips)
+        fused = build(code, fuse=True)
+        plain = build(code, fuse=False)
+        for chunk in chunks:
+            outcome_f = run_guarded(fused, limit=chunk)
+            outcome_p = run_guarded(plain, limit=chunk)
+            assert outcome_f == outcome_p
+            assert snap(fused) == snap(plain)
+            if fused.halted or outcome_f[0] == "fault":
+                return
+        assert run_guarded(fused) == run_guarded(plain)
+        assert snap(fused) == snap(plain)
+
+    @settings(max_examples=40, deadline=None)
+    @given(snips=snippets, data=st.data())
+    def test_debug_loop_breakpoint_stops_match_fast_path(self, snips, data):
+        """The per-instruction debug loop (breakpoints armed at random
+        pcs, possibly mid-fusion) and the fused fast path observe the
+        same machine at every stop."""
+        code = assemble_program(snips)
+        debug = build(code, fuse=True)
+        fast = build(code, fuse=True)
+        pcs = data.draw(st.lists(st.integers(0, len(code) - 1),
+                                 min_size=1, max_size=4, unique=True))
+        debug.breakpoints.update(pcs)
+        executed = 0
+        while executed <= RUN_LIMIT:
+            result = debug.run(max_instructions=RUN_LIMIT,
+                               break_on_breakpoints=True)
+            executed += result.instructions
+            if result.instructions:
+                fast.run(max_instructions=result.instructions)
+            assert snap(fast) == snap(debug)
+            if debug.halted:
+                break
+        assert debug.halted
+
+    @settings(max_examples=25, deadline=None)
+    @given(snips=snippets)
+    def test_single_step_matches_fused_one_instruction_budgets(self, snips):
+        """Single-stepping the debug loop == fused runs of budget 1 (every
+        fused row decomposes), at every architectural stop."""
+        code = assemble_program(snips)
+        stepper = build(code, fuse=True)
+        fused = build(code, fuse=True)
+        for _ in range(RUN_LIMIT):
+            step = run_guarded_step(stepper)
+            one = run_guarded(fused, limit=1)
+            assert step == one or (step[0] is StopReason.STEP
+                                   and one[0] is StopReason.LIMIT)
+            assert snap(stepper) == snap(fused)
+            if stepper.halted or step[0] == "fault":
+                break
+
+
+def run_guarded_step(cpu):
+    try:
+        result = cpu.run(max_instructions=1, single_step=True)
+        return (result.reason, None)
+    except TargetFault as fault:
+        return ("fault", (fault.reason, fault.pc))
+
+
+# -- deterministic edges ----------------------------------------------------
+
+def counting_loop(iterations):
+    asm = Assembler()
+    asm.label("top")
+    asm.emit("LOAD", RAM_BASE)
+    asm.emit("PUSH", 1)
+    asm.emit("ADD")
+    asm.emit("STORE", RAM_BASE)
+    asm.emit("LOAD", RAM_BASE)
+    asm.emit("PUSH", iterations)
+    asm.emit("LT")
+    asm.emit_jump("JNZ", "top")
+    asm.emit("HALT")
+    return asm.assemble()
+
+
+class TestFusionPass:
+    def test_counting_loop_fuses_to_two_rows(self):
+        cpu = build(counting_loop(10), fuse=True)
+        assert cpu.fused_rows == 2
+
+    def test_fuse_off_installs_nothing(self):
+        cpu = build(counting_loop(10), fuse=False)
+        assert cpu.fused_rows == 0 and cpu._frows is None
+
+    def test_no_fusion_spans_a_jump_target(self):
+        # JMP 4 lands *inside* what would otherwise be the second pair:
+        # only the first PUSH/STORE pair may fuse.
+        code = [Instr("PUSH", 1), Instr("STORE", RAM_BASE),
+                Instr("JMP", 4), Instr("PUSH", 9),
+                Instr("STORE", RAM_BASE + 1), Instr("HALT")]
+        cpu = build(code, fuse=True)
+        assert cpu.fused_rows == 1
+        assert cpu._frows[3] == cpu._rows[3]  # pair at 3/4 stayed plain
+
+    def test_fusing_at_a_jump_target_is_allowed(self):
+        cpu = build(counting_loop(10), fuse=True)
+        assert cpu._frows[0] != cpu._rows[0]  # loop head fused
+
+    def test_no_fusion_spans_a_task_entry(self):
+        code = [Instr("LOAD", RAM_BASE), Instr("LOAD", RAM_BASE + 1),
+                Instr("ADD"), Instr("STORE", RAM_BASE + 2), Instr("HALT")]
+        assert build(code, fuse=True).fused_rows == 1
+        assert build(code, fuse=True, entries=[2]).fused_rows == 0
+
+    def test_undeclared_entry_mid_sequence_executes_plain_rows(self):
+        code = [Instr("LOAD", RAM_BASE), Instr("LOAD", RAM_BASE + 1),
+                Instr("ADD"), Instr("STORE", RAM_BASE + 2), Instr("HALT")]
+        fused = build(code, fuse=True)
+        fused.memory.poke(RAM_BASE + 1, 7)
+        fused.reset_task(2)        # interior pc of the fused quad
+        plain = build(code, fuse=False)
+        plain.memory.poke(RAM_BASE + 1, 7)
+        plain.reset_task(2)
+        # both underflow identically: ADD with an empty stack
+        assert run_guarded(fused) == run_guarded(plain)
+        assert snap(fused) == snap(plain)
+
+    def test_invalid_branch_target_is_not_fused(self):
+        code = [Instr("LOAD", RAM_BASE), Instr("JNZ", 99), Instr("HALT")]
+        assert build(code, fuse=True).fused_rows == 0
+
+
+class TestDecomposeEdges:
+    def test_divide_by_zero_fault_is_identical(self):
+        code = [Instr("LOAD", RAM_BASE), Instr("PUSH", 0), Instr("DIV"),
+                Instr("STORE", RAM_BASE + 1), Instr("HALT")]
+        fused, plain = build(code, fuse=True), build(code, fuse=False)
+        assert fused.fused_rows == 1
+        outcome = run_guarded(fused)
+        assert outcome == run_guarded(plain)
+        assert outcome == ("fault", ("division by zero", 2))
+        assert snap(fused) == snap(plain)
+
+    def test_transient_stack_overflow_is_identical(self):
+        code = [Instr("PUSH", 7), Instr("LOAD", RAM_BASE),
+                Instr("LOAD", RAM_BASE + 1), Instr("ADD"),
+                Instr("STORE", RAM_BASE + 2), Instr("HALT")]
+        fused = build(code, fuse=True, depth=2)
+        plain = build(code, fuse=False, depth=2)
+        assert fused.fused_rows == 1
+        outcome = run_guarded(fused)
+        assert outcome == run_guarded(plain)
+        assert outcome == ("fault", ("stack overflow", 2))
+        assert snap(fused) == snap(plain)
+
+    def test_store_outside_ram_fault_is_identical(self):
+        code = [Instr("LOAD", RAM_BASE), Instr("PUSH", 1), Instr("ADD"),
+                Instr("STORE", RAM_BASE - 1), Instr("HALT")]
+        fused, plain = build(code, fuse=True), build(code, fuse=False)
+        assert fused.fused_rows == 1
+        outcome = run_guarded(fused)
+        assert outcome == run_guarded(plain)
+        assert outcome[0] == "fault" and outcome[1][1] == 3
+        assert snap(fused) == snap(plain)
+
+    def test_limit_mid_quad_stops_on_legal_unfused_pc(self):
+        code = counting_loop(10)
+        for limit in range(1, 12):
+            fused, plain = build(code, fuse=True), build(code, fuse=False)
+            fused.run(max_instructions=limit)
+            plain.run(max_instructions=limit)
+            assert snap(fused) == snap(plain)
+            assert 0 <= fused.pc < len(code)
+            # and resuming completes in lockstep
+            fused.run()
+            plain.run()
+            assert snap(fused) == snap(plain)
+
+    def test_emit_handler_observes_identical_cycles(self):
+        asm = Assembler()
+        asm.emit("PUSH", 3)          # fused pair feeding the emit value
+        asm.emit("STORE", RAM_BASE)
+        asm.emit("PUSH", 1)          # path id
+        asm.emit("LOAD", RAM_BASE)
+        asm.emit("EMIT", 2)
+        asm.emit("HALT")
+        code = asm.assemble()
+        seen = {}
+        for fuse in (True, False):
+            cpu = build(code, fuse=fuse)
+            observed = []
+            cpu.emit_handler = lambda kind, pid, value: observed.append(
+                (kind, pid, value, cpu.cycles))
+            cpu.run()
+            seen[fuse] = observed
+        assert seen[True] == seen[False]
+
+
+class TestFirmwareIntegration:
+    def test_generated_firmware_fuses_and_stays_bit_identical(self):
+        """The real codegen output: fused board == unfused board on every
+        task job, cycle for cycle."""
+        firmware = generate_firmware(traffic_light_system(),
+                                     InstrumentationPlan.full())
+        fused_board = Board()
+        plain_board = Board()
+        plain_board.cpu.fuse = False
+        fused_board.load_firmware(firmware)
+        plain_board.load_firmware(firmware)
+        assert fused_board.cpu.fused_rows > 0
+        assert plain_board.cpu.fused_rows == 0
+        for _ in range(25):
+            for task in firmware.entries:
+                rf = fused_board.run_task(task)
+                rp = plain_board.run_task(task)
+                assert rf == rp
+                assert snap(fused_board.cpu) == snap(plain_board.cpu)
+
+    def test_fuse_toggle_after_load_selects_reference_loop(self):
+        """Board exposes no fuse parameter, so disabling fusion after
+        load_firmware must be honored — run() re-consults the flag."""
+        cpu = build(counting_loop(5), fuse=True)
+        assert cpu.fused_rows > 0
+        cpu.fuse = False
+        cpu._run_fused = lambda limit: pytest.fail(
+            "fused loop must not run with fuse disabled")
+        result = cpu.run()
+        assert result.reason is StopReason.HALTED
+
+    def test_run_route_selection_unchanged(self):
+        """Debug features still force the per-instruction loop; the fused
+        loop only ever runs hook-free."""
+        cpu = build(counting_loop(3), fuse=True)
+        cpu.breakpoints.add(1)
+        result = cpu.run(break_on_breakpoints=True)
+        assert result.reason is StopReason.BREAKPOINT
+        assert cpu.pc == 1
