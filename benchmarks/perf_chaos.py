@@ -1,0 +1,173 @@
+"""Overhead and determinism scoreboard for the chaos/retry wrappers.
+
+Two claims gated here:
+
+* **zero overhead when disabled** — a ``RetryingLink(ChaosLink(...))``
+  stack with every fault rate at 0.0 must poll at effectively the bare
+  link's rate. Measured as the wall-clock ratio of a 64-watch scatter
+  read through the wrapped vs. the bare :class:`JtagLink`
+  (``overhead.retry_chaos_disabled_ratio``, ceiling-gated), plus the
+  raw per-op wrapper cost over a free :class:`DirectLink` where the
+  wrapper is all there is (informational, not gated — the inner op
+  costs nothing, so the ratio is meaningless there);
+* **determinism at a fixed seed** — an enabled chaos schedule replayed
+  at the same seed must be byte-identical (fault schedule, stats and
+  results), and a different seed must diverge
+  (``determinism_identical`` / ``determinism_diverges``, floor-gated).
+
+Writes ``BENCH_chaos.json`` (or ``BENCH_chaos_quick.json`` under
+``--quick``) next to this file.
+
+Usage::
+
+    python benchmarks/perf_chaos.py           # full run
+    python benchmarks/perf_chaos.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.comm.chaos import ChaosConfig, ChaosLink
+from repro.comm.jtag import JtagProbe, TapController
+from repro.comm.link import DirectLink, JtagLink
+from repro.comm.retry import RetryPolicy, RetryingLink
+from repro.comm.usb import UsbTransport
+from repro.errors import TransientLinkError
+from repro.target.board import Board, DebugPort
+from repro.target.memory import RAM_BASE
+
+WATCHES = 64
+FULL_REPS = 40
+QUICK_REPS = 5
+DIRECT_OPS = 2000
+
+
+def watch_addrs(count: int):
+    if count <= 2:
+        return [RAM_BASE + i for i in range(count)]
+    main = [RAM_BASE + i for i in range(count - 2)]
+    return main + [RAM_BASE + 1000, RAM_BASE + 1001]
+
+
+def bare_jtag():
+    board = Board()
+    probe = JtagProbe(TapController(DebugPort(board)), tck_hz=4_000_000,
+                      transport=UsbTransport())
+    return JtagLink(probe)
+
+
+def wrap_disabled(link):
+    return RetryingLink(ChaosLink(link, ChaosConfig()), RetryPolicy())
+
+
+def best_elapsed(link, addrs, reps):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        link.read_scatter(addrs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_overhead(reps: int):
+    addrs = watch_addrs(WATCHES)
+    bare = bare_jtag()
+    wrapped = wrap_disabled(bare_jtag())
+
+    # modeled costs must be identical: the disabled stack adds zero
+    # modeled latency, so budgets cannot tell the links apart
+    _, bare_cost = bare.read_scatter(addrs)
+    _, wrapped_cost = wrapped.read_scatter(addrs)
+    assert bare_cost == wrapped_cost, (bare_cost, wrapped_cost)
+
+    bare_t = best_elapsed(bare, addrs, reps)
+    wrapped_t = best_elapsed(wrapped, addrs, reps)
+
+    # raw wrapper cost where the inner link is free: per-op overhead in
+    # nanoseconds of the whole retry+chaos stack (informational)
+    direct = wrap_disabled(DirectLink(Board()))
+    start = time.perf_counter()
+    for _ in range(DIRECT_OPS):
+        direct.read_scatter(addrs[:8])
+    per_op_ns = (time.perf_counter() - start) / DIRECT_OPS * 1e9
+
+    return {
+        "watches": WATCHES,
+        "bare_poll_us": round(bare_t * 1e6, 1),
+        "wrapped_poll_us": round(wrapped_t * 1e6, 1),
+        "retry_chaos_disabled_ratio": round(wrapped_t / bare_t, 3),
+        "wrapper_stack_ns_per_op": round(per_op_ns, 1),
+        "modeled_cost_identical": 1,
+    }
+
+
+def chaos_fingerprint(seed: int):
+    """A seeded chaos run's complete observable record."""
+    board = Board()
+    for offset in range(8):
+        board.memory.poke(RAM_BASE + offset, offset * 3)
+    link = RetryingLink(
+        ChaosLink(DirectLink(board),
+                  ChaosConfig(seed=seed, transient_error=0.3,
+                              read_corrupt=0.2, latency_spike=0.1,
+                              record_schedule=True)),
+        RetryPolicy(max_attempts=6, backoff_us=100, seed=seed))
+    addrs = [RAM_BASE + i for i in range(8)]
+    results = []
+    for _ in range(200):
+        try:
+            results.append(link.read_scatter(addrs))
+        except TransientLinkError:
+            results.append("transient")
+    return (results, link.inner.schedule, link.stats(), link.inner.stats())
+
+
+def measure_determinism():
+    first, again, other = (chaos_fingerprint(s) for s in (7, 7, 8))
+    return {
+        "determinism_identical": int(first == again),
+        "determinism_diverges": int(first != other),
+        "faults_injected": first[3]["transient_errors"]
+        + first[3]["reads_corrupted"] + first[3]["latency_spikes"],
+    }
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    reps = QUICK_REPS if quick else FULL_REPS
+    measure_overhead(1)  # warm up caches and the allocator
+
+    results = {
+        "overhead": measure_overhead(reps),
+        "determinism": measure_determinism(),
+        "quick": quick,
+    }
+    assert results["determinism"]["determinism_identical"] == 1
+    assert results["determinism"]["determinism_diverges"] == 1
+
+    name = "BENCH_chaos_quick.json" if quick else "BENCH_chaos.json"
+    out = os.path.join(os.path.dirname(os.path.abspath(__file__)), name)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    over = results["overhead"]
+    print(f"64-watch poll: bare {over['bare_poll_us']}us, "
+          f"wrapped {over['wrapped_poll_us']}us "
+          f"(ratio {over['retry_chaos_disabled_ratio']}x, "
+          f"stack cost {over['wrapper_stack_ns_per_op']}ns/op)")
+    det = results["determinism"]
+    print(f"determinism: identical={det['determinism_identical']} "
+          f"diverges={det['determinism_diverges']} "
+          f"({det['faults_injected']} faults injected)")
+    print(f"-> {out}")
+
+
+if __name__ == "__main__":
+    main()

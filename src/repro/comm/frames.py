@@ -75,10 +75,15 @@ class FrameDecoder:
         self._buffer.extend(data)
         out: List[Tuple[int, int, int]] = []
         while True:
-            # Resynchronize on SOF.
-            while self._buffer and self._buffer[0] != SOF:
-                self._buffer.pop(0)
-                self.framing_errors += 1
+            # Resynchronize on SOF — one find() instead of a byte-at-a-
+            # time pop loop, so a garbage burst costs O(n), not O(n^2).
+            sof = self._buffer.find(SOF)
+            if sof < 0:
+                self.framing_errors += len(self._buffer)
+                self._buffer.clear()
+            elif sof:
+                self.framing_errors += sof
+                del self._buffer[:sof]
             if len(self._buffer) < FRAME_LEN:
                 return out
             frame = bytes(self._buffer[:FRAME_LEN])

@@ -53,6 +53,12 @@ class DebugLink:
         self.words_written = 0
         self.frames_carried = 0
         self.cost_us_total = 0
+        #: retry-layer accounting; bare links never retry or time out,
+        #: but keeping the counters here means every link's stats() has
+        #: the same shape and session aggregation never special-cases
+        #: wrapped transports (:mod:`repro.comm.retry`).
+        self.retries = 0
+        self.timeouts = 0
 
     def _account(self, cost_us: int, words_read: int = 0,
                  words_written: int = 0, frames: int = 0) -> int:
@@ -112,6 +118,8 @@ class DebugLink:
             "words_written": self.words_written,
             "frames_carried": self.frames_carried,
             "cost_us_total": self.cost_us_total,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,260 @@
+"""Retry, timeout and backoff over a faulty debug transport.
+
+:class:`RetryingLink` wraps any :class:`~repro.comm.link.DebugLink`
+(usually a :class:`~repro.comm.chaos.ChaosLink`) and absorbs
+:class:`~repro.errors.TransientLinkError` failures under a
+:class:`RetryPolicy`: bounded attempts, exponential backoff with
+**seeded** jitter (the backoff schedule is as deterministic as the fault
+schedule — :func:`~repro.util.seeds.derive_seed` over
+``(seed, op_index, attempt)``), and an optional per-operation timeout.
+Exhaustion raises a structured :class:`~repro.errors.LinkDownError`
+carrying the operation, the attempt count and the last failure.
+
+Idempotency rules — the part a naive retry loop gets wrong:
+
+* **reads retry freely** — a BLOCKREAD that failed (or timed out and
+  was discarded) had no target-visible effect;
+* **writes verify before re-issuing** — a failed BLOCKWRITE may have
+  *landed* with only its completion ack lost. When the policy's
+  ``verify_writes`` is set and the transport can read, the retry path
+  first reads the target range back; a match means the write landed and
+  no re-issue happens (memory writes are value-idempotent, so the
+  verify is a transaction economy, not a correctness requirement — a
+  serial link that cannot read falls back to plain re-issue);
+* **a timed-out read is discarded and retried; a timed-out write is
+  accepted** — the operation completed (only slowly), and re-issuing it
+  would double the transaction for nothing. Both are counted.
+
+Control-plane operations (``halt_target``/``resume_target``) and the
+fire-and-forget frame plane (``transmit_frame``) delegate without retry:
+frame loss is the higher layer's problem by design.
+
+The wrapper's returned cost for an operation is the *total* transport
+latency the caller experienced: every attempt's wire cost plus backoff
+waits. Accounting mirrors the inner link per attempt, so budgets price
+retries honestly. Retry/timeout counts surface in ``stats()`` and,
+per-channel, in ``DebugSession.transport_stats()``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.comm.chaos import _Wrapper
+from repro.comm.link import DebugLink
+from repro.errors import CommError, LinkDownError, TransientLinkError
+from repro.util.seeds import derive_seed
+
+
+class RetryPolicy:
+    """How a :class:`RetryingLink` responds to transient failures.
+
+    * ``max_attempts`` — total tries per operation (1 = no retry);
+    * ``op_timeout_us`` — an attempt whose modeled cost exceeds this is
+      a timeout (None = never);
+    * ``backoff_us`` / ``backoff_multiplier`` — exponential backoff base
+      and growth between attempts;
+    * ``jitter`` — fraction of the backoff randomized (seeded, so the
+      schedule is deterministic);
+    * ``verify_writes`` — read-back verification before re-issuing a
+      failed write (see the module docstring).
+    """
+
+    __slots__ = ("max_attempts", "op_timeout_us", "backoff_us",
+                 "backoff_multiplier", "jitter", "seed", "verify_writes")
+
+    def __init__(self, max_attempts: int = 3,
+                 op_timeout_us: Optional[int] = None,
+                 backoff_us: int = 200,
+                 backoff_multiplier: float = 2.0,
+                 jitter: float = 0.5,
+                 seed: int = 0,
+                 verify_writes: bool = True) -> None:
+        if max_attempts < 1:
+            raise CommError(f"max_attempts must be >= 1, got {max_attempts}")
+        if op_timeout_us is not None and op_timeout_us <= 0:
+            raise CommError(f"op_timeout_us must be positive, "
+                            f"got {op_timeout_us}")
+        if backoff_us < 0:
+            raise CommError(f"backoff_us must be non-negative, got {backoff_us}")
+        if backoff_multiplier < 1.0:
+            raise CommError(f"backoff_multiplier must be >= 1, "
+                            f"got {backoff_multiplier}")
+        if not (0.0 <= jitter <= 1.0):
+            raise CommError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self.op_timeout_us = op_timeout_us
+        self.backoff_us = backoff_us
+        self.backoff_multiplier = backoff_multiplier
+        self.jitter = jitter
+        self.seed = seed
+        self.verify_writes = verify_writes
+
+    def backoff_for(self, op_index: int, attempt: int) -> int:
+        """Deterministic jittered backoff before retry *attempt* (>= 2)."""
+        if self.backoff_us == 0:
+            return 0
+        base = self.backoff_us * self.backoff_multiplier ** (attempt - 2)
+        if self.jitter == 0.0:
+            return int(base)
+        rng = random.Random(derive_seed(self.seed, "backoff",
+                                        op_index, attempt))
+        return int(base * (1.0 + self.jitter * rng.random()))
+
+    def __repr__(self) -> str:
+        timeout = (f" timeout={self.op_timeout_us}us"
+                   if self.op_timeout_us is not None else "")
+        return (f"<RetryPolicy attempts={self.max_attempts}"
+                f"{timeout} backoff={self.backoff_us}us"
+                f"x{self.backoff_multiplier}>")
+
+
+class RetryingLink(_Wrapper):
+    """Bounded retry with seeded backoff over any :class:`DebugLink`."""
+
+    kind = "retry"
+
+    def __init__(self, inner: DebugLink,
+                 policy: Optional[RetryPolicy] = None) -> None:
+        super().__init__(inner)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._ops = 0
+        self.giveups = 0
+        self.backoff_us_total = 0
+
+    # -- the retry loop ------------------------------------------------------
+
+    def _backoff(self, op_index: int, attempt: int) -> int:
+        wait = self.policy.backoff_for(op_index, attempt)
+        self.backoff_us_total += wait
+        self.cost_us_total += wait  # host-side wait billed as latency
+        return wait
+
+    def _timed_out(self, cost: int) -> bool:
+        return (self.policy.op_timeout_us is not None
+                and cost > self.policy.op_timeout_us)
+
+    def _retry_read(self, op: str, fn):
+        """Run a read-class op with retry; returns (result, total_cost)."""
+        op_index = self._ops
+        self._ops += 1
+        policy = self.policy
+        spent = 0
+        last: Optional[Exception] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                spent += self._backoff(op_index, attempt)
+                self.retries += 1
+            before = self._snapshot()
+            try:
+                result, cost = fn()
+            except TransientLinkError as exc:
+                self._mirror(before)
+                last = exc
+                continue
+            self._mirror(before)
+            spent += cost
+            if self._timed_out(cost):
+                # the result is stale by the time it lands: discard and
+                # retry — a read has no target-visible effect to protect
+                self.timeouts += 1
+                last = TransientLinkError(op, f"attempt exceeded "
+                                          f"{policy.op_timeout_us}us")
+                continue
+            return result, spent
+        self.giveups += 1
+        raise LinkDownError(op, policy.max_attempts, last)
+
+    def _verify_write(self, read_back, intended: List[int]) -> bool:
+        """Whether the target already holds the intended values.
+
+        The verify read goes through the (possibly still faulty) inner
+        link; a verify that itself fails simply falls back to re-issue —
+        memory writes are value-idempotent, so re-issuing is safe.
+        """
+        before = self._snapshot()
+        try:
+            values, _ = read_back()
+        except CommError:
+            self._mirror(before)
+            return False
+        self._mirror(before)
+        return list(values) == intended
+
+    def _retry_write(self, op: str, fn, read_back, intended: List[int]) -> int:
+        """Run a write-class op with verify-before-reissue retry."""
+        op_index = self._ops
+        self._ops += 1
+        policy = self.policy
+        spent = 0
+        last: Optional[Exception] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                spent += self._backoff(op_index, attempt)
+                self.retries += 1
+                if policy.verify_writes and self._verify_write(read_back,
+                                                               intended):
+                    # lost ack: the previous attempt landed — done
+                    return spent
+            before = self._snapshot()
+            try:
+                cost = fn()
+            except TransientLinkError as exc:
+                self._mirror(before)
+                last = exc
+                continue
+            self._mirror(before)
+            spent += cost
+            if self._timed_out(cost):
+                # the write completed, only slowly: record, accept
+                self.timeouts += 1
+            return spent
+        self.giveups += 1
+        raise LinkDownError(op, policy.max_attempts, last)
+
+    # -- memory plane --------------------------------------------------------
+
+    def read_word(self, addr: int) -> Tuple[int, int]:
+        return self._retry_read("read_word",
+                                lambda: self.inner.read_word(addr))
+
+    def read_block(self, base: int, count: int) -> Tuple[List[int], int]:
+        return self._retry_read("read_block",
+                                lambda: self.inner.read_block(base, count))
+
+    def read_scatter(self, addrs: Sequence[int]) -> Tuple[List[int], int]:
+        return self._retry_read("read_scatter",
+                                lambda: self.inner.read_scatter(addrs))
+
+    def write_word(self, addr: int, value: int) -> int:
+        return self._retry_write(
+            "write_word",
+            lambda: self.inner.write_word(addr, value),
+            lambda: self.inner.read_block(addr, 1),
+            [value])
+
+    def write_block(self, base: int, values: Sequence[int]) -> int:
+        values = list(values)
+        return self._retry_write(
+            "write_block",
+            lambda: self.inner.write_block(base, values),
+            lambda: self.inner.read_block(base, len(values)),
+            values)
+
+    # -- frame plane: fire and forget, no retry ------------------------------
+
+    def transmit_frame(self, t_ready: int,
+                       frame: bytes) -> Tuple[bytes, int, int]:
+        before = self._snapshot()
+        result = self.inner.transmit_frame(t_ready, frame)
+        self._mirror(before)
+        return result
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        snapshot = super().stats()
+        snapshot["giveups"] = self.giveups
+        snapshot["backoff_us_total"] = self.backoff_us_total
+        return snapshot

@@ -35,8 +35,10 @@ from repro.comm.channel import (
     PassiveChannel,
     WatchSpec,
 )
+from repro.comm.chaos import ChaosConfig, ChaosLink
 from repro.comm.jtag import JtagProbe, TapController
 from repro.comm.link import DebugLink, JtagLink
+from repro.comm.retry import RetryPolicy, RetryingLink
 from repro.comm.rs232 import Rs232Link
 from repro.comm.usb import UsbTransport
 from repro.engine.engine import DebuggerEngine
@@ -53,6 +55,7 @@ from repro.render.svg import scene_to_svg
 from repro.rtos.kernel import DtmKernel
 from repro.sim.kernel import Simulator
 from repro.target.board import DebugPort
+from repro.util.seeds import derive_seed
 
 
 def iter_blocks_with_scope(network: ComponentNetwork,
@@ -172,6 +175,81 @@ class TransportBudget:
                 f"channels={sorted(self.per_channel) or '-'}>")
 
 
+class DegradationPolicy:
+    """Graceful degradation instead of budget failure.
+
+    Attached to a :class:`DebugSession` next to a
+    :class:`TransportBudget`, this closes the budget work's open tail:
+    a passive observation plan that *would* bust a ceiling no longer
+    raises — the session degrades observability until the projected
+    spend fits, applying the cheapest-loss step first:
+
+    1. **slow the poll** — double the poll period, up to
+       ``max_slowdown``× the configured period (latency cost only);
+    2. **split the plan** — double the poll stride
+       (:meth:`~repro.comm.channel.PassiveChannel.set_stride`), polling
+       a contiguous fraction of the watches per tick (latency cost per
+       watch, full coverage retained);
+    3. **shed watches** — drop the lowest-priority (last-listed)
+       watches one at a time down to ``min_watches`` (coverage cost —
+       the last resort).
+
+    Every step lands in ``DebugSession.degradation_events`` with the
+    simulated time, action and detail, so a degraded run is queryable
+    after the fact. When every knob is exhausted and the projection
+    still busts the ceiling, the default is to record the fact and run
+    anyway (partial observability beats none); ``raise_on_exhausted``
+    restores the hard failure for campaigns that prefer rejection.
+    """
+
+    __slots__ = ("max_slowdown", "max_stride", "min_watches",
+                 "raise_on_exhausted")
+
+    def __init__(self, max_slowdown: int = 8, max_stride: int = 4,
+                 min_watches: int = 1,
+                 raise_on_exhausted: bool = False) -> None:
+        if max_slowdown < 1:
+            raise DebuggerError(f"max_slowdown must be >= 1, "
+                                f"got {max_slowdown}")
+        if max_stride < 1:
+            raise DebuggerError(f"max_stride must be >= 1, got {max_stride}")
+        if min_watches < 1:
+            raise DebuggerError(f"min_watches must be >= 1, "
+                                f"got {min_watches}")
+        self.max_slowdown = max_slowdown
+        self.max_stride = max_stride
+        self.min_watches = min_watches
+        self.raise_on_exhausted = raise_on_exhausted
+
+    def degrade_step(self, channel) -> Optional[Dict[str, object]]:
+        """Apply the cheapest available degradation to a passive channel.
+
+        Returns an event dict describing what changed, or ``None`` when
+        the channel is already degraded to this policy's floor.
+        """
+        period_cap = channel.initial_poll_period_us * self.max_slowdown
+        if channel.poll_period_us * 2 <= period_cap:
+            channel.set_poll_period(channel.poll_period_us * 2)
+            return {"action": "slow_poll",
+                    "detail": f"poll period -> {channel.poll_period_us}us"}
+        if (channel.stride * 2 <= self.max_stride
+                and channel.stride * 2 <= len(channel.watches)):
+            channel.set_stride(channel.stride * 2)
+            return {"action": "split_plan",
+                    "detail": f"poll stride -> {channel.stride}"}
+        if len(channel.watches) > self.min_watches:
+            dropped = channel.shed_watches(1)
+            return {"action": "shed_watch",
+                    "detail": f"dropped {', '.join(dropped)}"}
+        return None
+
+    def __repr__(self) -> str:
+        return (f"<DegradationPolicy slowdown<={self.max_slowdown}x "
+                f"stride<={self.max_stride} watches>={self.min_watches} "
+                f"{'raise' if self.raise_on_exhausted else 'record'}"
+                f"-on-exhausted>")
+
+
 class DebugSession:
     """One GMDF debugging session over a simulated target."""
 
@@ -184,8 +262,19 @@ class DebugSession:
                  tck_hz: int = 4_000_000,
                  budget: Optional[TransportBudget] = None,
                  trace_capacity: Optional[int] = None,
-                 trace_spill: Optional[object] = None) -> None:
-        """``trace_capacity``/``trace_spill`` configure the engine's
+                 trace_spill: Optional[object] = None,
+                 chaos: Optional[ChaosConfig] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 degradation: Optional[DegradationPolicy] = None) -> None:
+        """``chaos`` injects seeded wire faults into every per-node debug
+        link (:class:`~repro.comm.chaos.ChaosLink`; each node derives its
+        own schedule from the config seed). ``retry`` wraps the links in
+        a :class:`~repro.comm.retry.RetryingLink` so transient faults are
+        absorbed under the policy's attempt/backoff budget. ``degradation``
+        (with a ``budget``) degrades passive observation plans instead of
+        raising :class:`~repro.errors.BudgetExceededError`.
+
+        ``trace_capacity``/``trace_spill`` configure the engine's
         execution trace: a bounded ring, and/or a
         :class:`~repro.tracedb.store.TraceStore` the ring spills into so
         arbitrarily long sessions keep their full history replayable at
@@ -238,6 +327,15 @@ class DebugSession:
         #: set once a run ends over budget (the experiment is failed)
         self.budget_failed = False
         self._warned_absent_channels: set = set()
+        #: transport fault injection / retry / degradation configuration
+        self.chaos = chaos
+        self.retry = retry
+        self.degradation = degradation
+        #: every degradation step taken, in order: dicts with at least
+        #: ``t_us``, ``action`` and ``detail`` (queryable after a run)
+        self.degradation_events: List[Dict[str, object]] = []
+        #: per-node passive channels (degradation targets)
+        self._passive_channels: List[PassiveChannel] = []
 
     def _log(self, step: int, message: str) -> None:
         self.workflow_log.append(f"[{step}] {message}")
@@ -309,7 +407,8 @@ class DebugSession:
             if self.channel_kind == "active":
                 channel = ActiveChannel(self.sim, board, self.firmware,
                                         link=Rs232Link(self.baud))
-                channel.debug_link.label = "active"
+                channel.debug_link = self._wrap_link(channel.debug_link,
+                                                     node, "active")
                 self.links[node] = channel.debug_link
                 self.kernel.add_job_hook(
                     node,
@@ -321,8 +420,7 @@ class DebugSession:
                 probe = JtagProbe(tap, tck_hz=self.tck_hz,
                                   transport=UsbTransport())
                 self.probes[node] = probe
-                link = JtagLink(probe)
-                link.label = "passive"
+                link = self._wrap_link(JtagLink(probe), node, "passive")
                 self.links[node] = link
                 watches = default_watches(self.system, node)
                 if watches:
@@ -333,6 +431,7 @@ class DebugSession:
                     )
                     channel.start()
                     composite.add(channel)
+                    self._passive_channels.append(channel)
         self.channel = composite
         trace = None
         if self.trace_capacity is not None or self.trace_spill is not None:
@@ -368,6 +467,23 @@ class DebugSession:
         if not condition:
             raise DebuggerError(message)
 
+    def _wrap_link(self, link: DebugLink, node: str, label: str) -> DebugLink:
+        """Stack the session's chaos/retry wrappers onto a bare link.
+
+        Order matters: faults inject *below* the retry layer, so the
+        policy absorbs exactly the transients the chaos schedule emits.
+        Each node derives its own chaos seed, so multi-node sessions get
+        independent — but reproducible — fault schedules.
+        """
+        if self.chaos is not None:
+            per_node = self.chaos.with_seed(
+                derive_seed(self.chaos.seed, "chaos", node))
+            link = ChaosLink(link, per_node)
+        if self.retry is not None:
+            link = RetryingLink(link, self.retry)
+        link.label = label
+        return link
+
     # -- runtime ------------------------------------------------------------
 
     def run(self, duration_us: int) -> "DebugSession":
@@ -376,9 +492,17 @@ class DebugSession:
         With a :class:`TransportBudget` attached, the transport books
         are audited after the advance; going over the ceiling marks the
         experiment failed and raises
-        :class:`~repro.errors.BudgetExceededError`.
+        :class:`~repro.errors.BudgetExceededError`. With a
+        :class:`DegradationPolicy` attached as well, the session instead
+        *degrades to fit*: before the advance it projects the passive
+        poll spend over the horizon and lowers poll rate / splits the
+        plan / sheds watches until the projection fits the ceiling,
+        recording every step in :attr:`degradation_events` — the hard
+        raise stays the explicit opt-in (no policy, or
+        ``raise_on_exhausted``).
         """
         self._require(self.kernel is not None, "run step5_connect first")
+        self._degrade_to_fit(duration_us)
         self.kernel.run(duration_us)
         self._check_budget()
         return self
@@ -397,9 +521,13 @@ class DebugSession:
         counters down per attribution label — ``passive`` (JTAG poll
         plane), ``active`` (RS-232 command stream), ``inspect``
         (source-debugger reads registered via :meth:`add_debug_link`).
+        ``retries``/``timeouts`` aggregate the retry layer's absorption
+        counts (zero on bare links); ``degradations`` counts the
+        session's recorded degradation events.
         """
         counters = ("transactions", "words_read", "words_written",
-                    "frames_carried", "cost_us_total")
+                    "frames_carried", "cost_us_total", "retries",
+                    "timeouts")
         totals: Dict[str, object] = {key: 0 for key in counters}
         channels: Dict[str, Dict[str, int]] = {}
         for link in self._all_links():
@@ -412,6 +540,7 @@ class DebugSession:
                 row[key] += stats[key]
         totals["links"] = sum(row["links"] for row in channels.values())
         totals["channels"] = channels
+        totals["degradations"] = len(self.degradation_events)
         return totals
 
     def _all_links(self) -> List[DebugLink]:
@@ -438,6 +567,65 @@ class DebugSession:
             return []
         return self.budget.violations(self.transport_stats())
 
+    # -- graceful degradation ------------------------------------------------
+
+    def _record_degradation(self, event: Dict[str, object]) -> None:
+        event.setdefault("t_us", self.sim.now)
+        self.degradation_events.append(event)
+
+    def projected_stats(self, horizon_us: int) -> Dict[str, object]:
+        """Transport books projected to *horizon_us*: the current totals
+        plus what every passive channel's remaining poll ticks will add
+        (one transaction per tick, baseline-scaled words and scan cost).
+        Active-channel traffic is workload-driven and not projected —
+        degradation reacts to it post-run instead."""
+        stats = self.transport_stats()
+        remaining_us = max(0, horizon_us - self.sim.now)
+        for channel in self._passive_channels:
+            ticks = remaining_us // channel.poll_period_us
+            if ticks <= 0:
+                continue
+            words, cost_us = channel.estimated_tick()
+            add = {"transactions": ticks, "words_read": ticks * words,
+                   "cost_us_total": ticks * cost_us}
+            row = stats["channels"].get(getattr(channel.link, "label",
+                                                "passive"))
+            for key, delta in add.items():
+                stats[key] += delta
+                if row is not None:
+                    row[key] += delta
+        return stats
+
+    def _degrade_to_fit(self, horizon_us: int) -> None:
+        """Pre-run projection loop: degrade until the horizon fits."""
+        if (self.budget is None or self.degradation is None
+                or not self._passive_channels):
+            return
+        # bounded: each iteration moves one knob one notch; the knob
+        # space (slowdown x stride x watches, per channel) is finite
+        for _ in range(256):
+            projected = self.projected_stats(horizon_us)
+            violations = self.budget.violations(projected)
+            if not violations:
+                return
+            event = None
+            for channel in self._passive_channels:
+                event = self.degradation.degrade_step(channel)
+                if event is not None:
+                    event["reason"] = violations[0]
+                    self._record_degradation(event)
+                    break
+            if event is None:
+                self._record_degradation({
+                    "action": "exhausted",
+                    "detail": "every degradation knob is at its floor",
+                    "reason": violations[0],
+                })
+                if self.degradation.raise_on_exhausted:
+                    self.budget_failed = True
+                    raise BudgetExceededError(violations, projected)
+                return
+
     def _check_budget(self) -> None:
         if self.budget is None:
             return
@@ -459,9 +647,26 @@ class DebugSession:
                 f"enforced unless such a link is registered — check for "
                 f"typos", stacklevel=3)
         violations = self.budget.violations(stats)
-        if violations:
-            self.budget_failed = True
-            raise BudgetExceededError(violations, stats)
+        if not violations:
+            return
+        if self.degradation is not None:
+            # record-and-degrade, never raise: cumulative books cannot
+            # un-spend, so the response to a post-run violation is to
+            # cut the *future* spend rate and log what happened
+            self._record_degradation({
+                "action": "over_budget",
+                "detail": "; ".join(violations),
+                "reason": violations[0],
+            })
+            for channel in self._passive_channels:
+                event = self.degradation.degrade_step(channel)
+                if event is not None:
+                    event["reason"] = violations[0]
+                    self._record_degradation(event)
+                    break
+            return
+        self.budget_failed = True
+        raise BudgetExceededError(violations, stats)
 
     # -- views --------------------------------------------------------------
 

@@ -7,12 +7,27 @@ The paper distinguishes two bug classes a runtime model debugger can find:
 * **implementation errors** — introduced during model transformation
   (injected by mutating the generated code while the model stays correct).
 
+A third plane targets the debugger itself rather than the system under
+debug:
+
+* **comm faults** — seeded wire faults (frame loss, reordering,
+  corruption) on the transport the model debugger observes through,
+  injected by wrapping the serial link in a
+  :class:`~repro.comm.chaos.ChaosLink`. They measure observability
+  robustness: a degraded wire must degrade detection gracefully, never
+  crash the debugger.
+
 :mod:`repro.faults.campaign` runs both debuggers (model-level GMDF and the
 code-level baseline) against each faulty variant and scores detection.
 """
 
 from repro.faults.design import DESIGN_FAULT_KINDS, FaultDescriptor, inject_design_fault
 from repro.faults.implementation import IMPL_FAULT_KINDS, inject_implementation_fault
+from repro.faults.comm import (
+    COMM_FAULT_KINDS,
+    comm_chaos_config,
+    comm_fault_descriptor,
+)
 from repro.faults.campaign import (
     CampaignResult,
     FaultOutcome,
@@ -24,5 +39,6 @@ __all__ = [
     "FaultDescriptor",
     "DESIGN_FAULT_KINDS", "inject_design_fault",
     "IMPL_FAULT_KINDS", "inject_implementation_fault",
+    "COMM_FAULT_KINDS", "comm_chaos_config", "comm_fault_descriptor",
     "FaultOutcome", "CampaignResult", "campaign_seeds", "run_campaign",
 ]

@@ -144,7 +144,7 @@ class CampaignResult:
     def summary_rows(self) -> List[Dict[str, object]]:
         """Per-category summary for table printing."""
         rows = []
-        for category in ("design", "implementation"):
+        for category in ("design", "implementation", "comm"):
             if not self.of_category(category):
                 continue
             rows.append({
@@ -177,7 +177,8 @@ def _run_model_debugger(system: System, firmware: FirmwareImage,
                         monitor_factory: Callable[[], MonitorSuite],
                         duration_us: int,
                         memory_patches: MemoryPatches = (),
-                        trace_store: Optional[object] = None
+                        trace_store: Optional[object] = None,
+                        chaos: Optional[object] = None,
                         ) -> Tuple[bool, Optional[int], str]:
     """Run GMDF over the faulty target; returns (detected, latency, how).
 
@@ -186,6 +187,12 @@ def _run_model_debugger(system: System, firmware: FirmwareImage,
     :data:`~repro.tracedb.store.DEFAULT_SPILL_CACHE_EVENTS` hot cache):
     the full model-level execution trace lands on disk for post-campaign
     replay while the in-memory footprint stays flat.
+
+    With ``chaos`` (a :class:`~repro.comm.chaos.ChaosConfig`) every
+    node's serial transport is wrapped in a
+    :class:`~repro.comm.chaos.ChaosLink` seeded per node, so the model
+    debugger observes the target through a deterministically faulty
+    wire — the comm-fault campaign plane.
     """
     sim = Simulator()
     kernel = DtmKernel(system, firmware, sim=sim, latched=True)
@@ -195,6 +202,12 @@ def _run_model_debugger(system: System, firmware: FirmwareImage,
     for node in system.nodes():
         channel = ActiveChannel(sim, kernel.board_of(node), firmware,
                                 link=Rs232Link())
+        if chaos is not None:
+            from repro.comm.chaos import ChaosLink
+            from repro.util.seeds import derive_seed
+            channel.debug_link = ChaosLink(
+                channel.debug_link,
+                chaos.with_seed(derive_seed(chaos.seed, "node", node)))
         kernel.add_job_hook(node, lambda actor, t, ch=channel: ch.begin_job(t))
         composite.add(channel)
     model = system_to_model(system)
@@ -334,6 +347,28 @@ def run_fault_experiment(
         return FaultOutcome(fault, *model_result, *code_result,
                             classified_as=verdict)
 
+    if category == "comm":
+        # Pristine system and firmware; the fault lives on the wire the
+        # model debugger observes through. The code debugger reads the
+        # target directly (no serial hop), so it runs clean — the
+        # comparison isolates how transport faults degrade model-level
+        # observability. No differential classification: there is no
+        # design or implementation bug to classify.
+        from repro.faults.comm import comm_chaos_config, comm_fault_descriptor
+        base = system_factory()
+        base_fw = (base_firmware if base_firmware is not None
+                   else generate_firmware(base, plan))
+        fault = comm_fault_descriptor(kind, seed)
+        chaos = comm_chaos_config(kind, seed)
+        model_result = _run_model_debugger(base, base_fw, monitor_factory,
+                                           duration_us,
+                                           trace_store=trace_store,
+                                           chaos=chaos)
+        code_result = _run_code_debugger(base, base_fw, watch_specs,
+                                         duration_us)
+        return FaultOutcome(fault, *model_result, *code_result,
+                            classified_as="")
+
     raise FleetError(f"unknown experiment category {category!r}")
 
 
@@ -387,6 +422,7 @@ def run_campaign(
     code_watch_specs: WatchSpecsInput,
     design_kinds: Sequence[str] = tuple(DESIGN_FAULT_KINDS),
     impl_kinds: Sequence[str] = tuple(IMPL_FAULT_KINDS),
+    comm_kinds: Sequence[str] = (),
     seeds: Sequence[int] = (1, 2, 3),
     duration_us: int = 3_000_000,
     plan: Optional[InstrumentationPlan] = None,
@@ -405,7 +441,11 @@ def run_campaign(
     callables (``code_watch_specs`` given as a factory, not a list).
     Parallel and serial campaigns produce identical results.
 
-    ``master_seed``/``seeds_per_kind`` switch seed selection to
+    ``comm_kinds`` (off by default) adds the transport-fault plane:
+    each kind in :data:`~repro.faults.comm.COMM_FAULT_KINDS` runs the
+    pristine system with a seeded
+    :class:`~repro.comm.chaos.ChaosLink` degrading the model debugger's
+    wire. ``master_seed``/``seeds_per_kind`` switch seed selection to
     :func:`campaign_seeds` derivation (per-kind deterministic streams).
     ``trace_dir`` turns on trace collection: every job spills its model
     debugger's execution trace to a per-job store under that directory
@@ -438,7 +478,7 @@ def run_campaign(
             design_kinds=design_kinds, impl_kinds=impl_kinds, seeds=seeds,
             duration_us=duration_us, plan=plan,
             master_seed=master_seed, seeds_per_kind=seeds_per_kind,
-            trace_dir=trace_dir,
+            trace_dir=trace_dir, comm_kinds=comm_kinds,
         )
         return merge_results(specs, runner.run(specs), trace_dir=trace_dir)
 
@@ -452,7 +492,8 @@ def run_campaign(
     false_positives = int(detected) + int(code_detected)
 
     for category, kinds in (("design", design_kinds),
-                            ("implementation", impl_kinds)):
+                            ("implementation", impl_kinds),
+                            ("comm", comm_kinds)):
         for kind in kinds:
             for seed in campaign_seeds(category, kind, seeds,
                                        master_seed, seeds_per_kind):

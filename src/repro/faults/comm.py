@@ -1,0 +1,68 @@
+"""Comm-fault injectors: seeded wire faults on the debug transport.
+
+The third fault plane of the campaign corpus. Design faults mutate the
+model, implementation faults corrupt the firmware image — comm faults
+leave both pristine and degrade the *transport* the model debugger
+observes through, by wrapping the active channel's serial link in a
+:class:`~repro.comm.chaos.ChaosLink`. What the campaign measures here is
+robustness of the observation pipeline itself: a lossy or reordering
+wire must degrade detection gracefully (missed or late commands), never
+crash the debugger or corrupt its verdicts.
+
+Each kind maps to a :class:`~repro.comm.chaos.ChaosConfig` preset; the
+per-experiment seed goes into the config, so the whole fault schedule is
+a deterministic function of ``(kind, seed)`` — two runs of the same comm
+fault are byte-identical, exactly like the other fault planes.
+"""
+
+from __future__ import annotations
+
+from repro.comm.chaos import ChaosConfig
+from repro.errors import ReproError
+from repro.faults.design import FaultDescriptor
+
+
+def _loss(seed: int) -> ChaosConfig:
+    return ChaosConfig(seed=seed, frame_loss=0.2)
+
+
+def _reorder(seed: int) -> ChaosConfig:
+    return ChaosConfig(seed=seed, frame_reorder=0.3, reorder_delay_us=3000)
+
+
+def _corrupt(seed: int) -> ChaosConfig:
+    return ChaosConfig(seed=seed, frame_corrupt=0.2)
+
+
+#: kind -> (config factory, one-line description); ordered dict order is
+#: the canonical enumeration order of the comm corpus
+COMM_FAULT_KINDS = {
+    "frame_loss": (_loss, "drop 20% of command frames on the wire"),
+    "frame_reorder": (_reorder,
+                      "delay 30% of frames by 3ms past their successors"),
+    "frame_corrupt": (_corrupt,
+                      "flip one wire bit in 20% of frames (checksum drops)"),
+}
+
+
+def comm_chaos_config(kind: str, seed: int) -> ChaosConfig:
+    """The seeded :class:`ChaosConfig` behind one comm-fault coordinate."""
+    try:
+        factory, _ = COMM_FAULT_KINDS[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown comm fault kind {kind!r}; "
+            f"options: {tuple(COMM_FAULT_KINDS)}") from None
+    return factory(seed)
+
+
+def comm_fault_descriptor(kind: str, seed: int) -> FaultDescriptor:
+    """Descriptor for one comm fault (validates the kind)."""
+    _, description = COMM_FAULT_KINDS[kind]
+    return FaultDescriptor(
+        fault_id=f"comm/{kind}/{seed}",
+        category="comm",
+        kind=kind,
+        location="wire",
+        description=description,
+    )

@@ -30,7 +30,7 @@ from repro.faults.design import FaultDescriptor
 CONTROL_INDEX = 0
 
 #: categories a JobSpec may carry
-CATEGORIES = ("control", "design", "implementation")
+CATEGORIES = ("control", "design", "implementation", "comm")
 
 
 def default_mp_context() -> str:
@@ -152,10 +152,15 @@ class JobResult:
     ``trace_path`` is the path-based trace handoff: the root of the
     per-job store the worker spilled into (empty when the job did not
     collect traces). Paths cross the process boundary; traces never do.
+
+    ``retries`` counts how many isolated retry attempts the runner
+    burned before this result landed: 0 for a first-pass success, N for
+    a job that succeeded on (or terminally failed after) retry N.
     """
 
     __slots__ = ("index", "job_id", "fault", "declined", "model", "code",
-                 "classified_as", "error", "worker_pid", "trace_path")
+                 "classified_as", "error", "worker_pid", "trace_path",
+                 "retries")
 
     def __init__(self, index: int, job_id: str,
                  fault: Optional[FaultDescriptor] = None,
@@ -165,7 +170,8 @@ class JobResult:
                  classified_as: str = "",
                  error: Optional[dict] = None,
                  worker_pid: int = 0,
-                 trace_path: str = "") -> None:
+                 trace_path: str = "",
+                 retries: int = 0) -> None:
         self.index = index
         self.job_id = job_id
         self.fault = fault
@@ -176,6 +182,7 @@ class JobResult:
         self.error = error
         self.worker_pid = worker_pid
         self.trace_path = trace_path
+        self.retries = retries
 
     @property
     def failed(self) -> bool:
@@ -205,15 +212,17 @@ def enumerate_campaign_jobs(
     master_seed: Optional[int] = None,
     seeds_per_kind: Optional[int] = None,
     trace_dir: Optional[str] = None,
+    comm_kinds: Sequence[str] = (),
 ) -> List[JobSpec]:
     """The campaign corpus as an ordered job list (control first).
 
     Enumeration order is the canonical result order: control, then
-    design kinds x seeds, then implementation kinds x seeds — exactly
-    the serial loop's order, independent of how jobs are later chunked
-    or scheduled. Per-kind seeds come from
-    :func:`~repro.faults.campaign.campaign_seeds`, so derived-seed
-    corpora (``master_seed``) enumerate identically here and inline.
+    design kinds x seeds, then implementation kinds x seeds, then comm
+    (transport-fault) kinds x seeds — exactly the serial loop's order,
+    independent of how jobs are later chunked or scheduled. Per-kind
+    seeds come from :func:`~repro.faults.campaign.campaign_seeds`, so
+    derived-seed corpora (``master_seed``) enumerate identically here
+    and inline.
     """
     if not callable(watch_factory):
         raise FleetError(
@@ -234,7 +243,8 @@ def enumerate_campaign_jobs(
     specs = [spec(CONTROL_INDEX, "control", "", 0)]
     index = CONTROL_INDEX + 1
     for category, kinds in (("design", design_kinds),
-                            ("implementation", impl_kinds)):
+                            ("implementation", impl_kinds),
+                            ("comm", comm_kinds)):
         for kind in kinds:
             for seed in campaign_seeds(category, kind, seeds,
                                        master_seed, seeds_per_kind):

@@ -17,43 +17,43 @@ Scheduling policy:
   the same campaign.
 * **crash containment** — a worker that dies outright (segfault,
   ``os._exit``) breaks the pool; every job that was in flight is retried
-  one-per-fresh-pool, and a job that kills its process twice comes back
-  as a structured ``worker-crash`` failure instead of hanging or
-  poisoning its chunk mates.
+  in an isolated single-job process, up to ``max_retries`` times with
+  exponential backoff, and a job that exhausts its retry budget comes
+  back as a structured ``WorkerCrashed`` failure (retry count recorded
+  on the :class:`~repro.fleet.jobs.JobResult`) instead of hanging or
+  poisoning its chunk mates;
+* **hang containment** — with ``job_timeout_s`` set, a job that wedges
+  its isolated process is killed and reported as a structured
+  ``JobTimeout`` failure; a pool pass that stops completing futures is
+  timed out as a whole and its unfinished chunks go through the same
+  isolated-retry path.
 
-:func:`derive_seed` is the deterministic seed expander for growing fault
-corpora: a stable 63-bit stream derived from ``(master_seed, *parts)``
-via SHA-256 — independent of process, chunk, hash randomization and
-Python version, so a campaign described by one master seed enumerates
-the same per-job seeds everywhere.
+:func:`derive_seed` / :func:`seed_stream` (canonical home:
+:mod:`repro.util.seeds`, re-exported here for compatibility) are the
+deterministic seed expanders for growing fault corpora: a stable 63-bit
+stream derived from ``(master_seed, *parts)`` via SHA-256 — independent
+of process, chunk, hash randomization and Python version, so a campaign
+described by one master seed enumerates the same per-job seeds
+everywhere.
 """
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing
 import os
 import sys
+import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import FleetError
 from repro.fleet.jobs import JobResult, JobSpec, default_mp_context
 from repro.fleet.worker import run_job, run_job_batch
+from repro.util.seeds import derive_seed, seed_stream
 
-
-def derive_seed(master_seed: int, *parts: object) -> int:
-    """A stable 63-bit seed from a master seed and identity parts."""
-    text = repr((int(master_seed),) + tuple(str(p) for p in parts))
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") >> 1
-
-
-def seed_stream(master_seed: int, label: str, count: int) -> Tuple[int, ...]:
-    """*count* derived seeds for one fault kind / corpus label."""
-    if count < 0:
-        raise FleetError(f"seed count must be non-negative, got {count}")
-    return tuple(derive_seed(master_seed, label, i) for i in range(count))
+__all__ = ["FleetRunner", "SerialRunner", "default_workers",
+           "derive_seed", "seed_stream"]
 
 
 def default_workers() -> int:
@@ -73,7 +73,7 @@ def _worker_init(extra_paths: List[str]) -> None:
             sys.path.insert(0, path)
 
 
-def _crash_result(spec: JobSpec) -> JobResult:
+def _crash_result(spec: JobSpec, retries: int = 0) -> JobResult:
     return JobResult(
         spec.index, spec.job_id,
         error={
@@ -81,8 +81,33 @@ def _crash_result(spec: JobSpec) -> JobResult:
             "message": ("worker process died while running this job "
                         "(hard exit or signal; no Python traceback)"),
             "traceback": "",
+            "retries": retries,
         },
+        retries=retries,
     )
+
+
+def _timeout_result(spec: JobSpec, retries: int, timeout_s: float) -> JobResult:
+    return JobResult(
+        spec.index, spec.job_id,
+        error={
+            "type": "JobTimeout",
+            "message": (f"job exceeded its {timeout_s}s per-job timeout "
+                        f"and its worker was killed"),
+            "traceback": "",
+            "retries": retries,
+        },
+        retries=retries,
+    )
+
+
+def _isolated_entry(conn, spec: JobSpec, extra_paths: List[str]) -> None:
+    """Entry point of an isolated single-job retry process."""
+    _worker_init(extra_paths)
+    try:
+        conn.send(run_job(spec))
+    finally:
+        conn.close()
 
 
 class SerialRunner:
@@ -107,15 +132,34 @@ class FleetRunner:
 
     def __init__(self, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
-                 mp_context: Optional[str] = None) -> None:
+                 mp_context: Optional[str] = None,
+                 max_retries: int = 1,
+                 retry_backoff_s: float = 0.0,
+                 job_timeout_s: Optional[float] = None) -> None:
         if workers is not None and workers < 1:
             raise FleetError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise FleetError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_retries < 0:
+            raise FleetError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise FleetError(f"retry_backoff_s must be >= 0, "
+                             f"got {retry_backoff_s}")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise FleetError(f"job_timeout_s must be positive, "
+                             f"got {job_timeout_s}")
         self.workers = workers if workers is not None else default_workers()
         self.chunk_size = chunk_size
         self.mp_context = (mp_context if mp_context is not None
                            else default_mp_context())
+        #: isolated-process retry attempts for a job whose worker died
+        #: (0 = report the first crash as terminal)
+        self.max_retries = max_retries
+        #: sleep before retry attempt N: backoff * 2**(N-1) seconds
+        self.retry_backoff_s = retry_backoff_s
+        #: kill an isolated job after this many wall-clock seconds; also
+        #: bounds the pool pass at timeout * len(specs) total
+        self.job_timeout_s = job_timeout_s
 
     def _chunk_size_for(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -141,34 +185,52 @@ class FleetRunner:
         stranded: List[JobSpec] = []
 
         chunks = _chunk(specs, self._chunk_size_for(len(specs)))
+        pass_timeout = (self.job_timeout_s * len(specs)
+                        if self.job_timeout_s is not None else None)
         try:
             with self._executor(min(self.workers, len(chunks))) as pool:
                 futures = {pool.submit(run_job_batch, chunk): chunk
                            for chunk in chunks}
-                for future in as_completed(futures):
-                    try:
-                        batch = future.result()
-                    except BrokenExecutor:
-                        stranded.extend(futures[future])
-                        continue
-                    for result in batch:
-                        by_index[result.index] = result
+                try:
+                    for future in as_completed(futures,
+                                               timeout=pass_timeout):
+                        try:
+                            batch = future.result()
+                        except BrokenExecutor:
+                            stranded.extend(futures[future])
+                            continue
+                        for result in batch:
+                            by_index[result.index] = result
+                except FuturesTimeoutError:
+                    # the pool pass stopped making progress: kill the
+                    # workers so `with` can shut down, harvest whatever
+                    # finished, strand the rest for isolated retry
+                    for proc in getattr(pool, "_processes", {}).values():
+                        proc.terminate()
+                    for future, chunk in futures.items():
+                        if future.done() and not future.cancelled():
+                            try:
+                                for result in future.result():
+                                    by_index[result.index] = result
+                            except Exception:  # noqa: BLE001 - crashed chunk
+                                stranded.extend(chunk)
+                        else:
+                            future.cancel()
+                            stranded.extend(chunk)
         except BrokenExecutor:
             # The pool died during shutdown; anything unaccounted for
-            # goes through the one-job-per-pool retry below.
+            # goes through the isolated retry below.
             pass
         for spec in specs:
             if spec.index not in by_index and spec not in stranded:
                 stranded.append(spec)
 
-        # Second chance, one job per fresh single-worker pool: the crasher
-        # is isolated and identified; its innocent chunk mates complete.
+        # Bounded second chance, one isolated process per attempt: the
+        # crasher (or hanger) is contained and identified; its innocent
+        # chunk mates complete. Terminal failures are structured, with
+        # the burned retry count on the result.
         for spec in stranded:
-            try:
-                with self._executor(1) as pool:
-                    by_index[spec.index] = pool.submit(run_job, spec).result()
-            except BrokenExecutor:
-                by_index[spec.index] = _crash_result(spec)
+            by_index[spec.index] = self._run_stranded(spec)
 
         missing = [spec.job_id for spec in specs if spec.index not in by_index]
         if missing:
@@ -176,7 +238,55 @@ class FleetRunner:
                              f"{missing[:5]}")
         return [by_index[spec.index] for spec in specs]
 
+    def _run_stranded(self, spec: JobSpec) -> JobResult:
+        """Retry one stranded job in isolation, bounded with backoff."""
+        timed_out = False
+        for attempt in range(1, self.max_retries + 1):
+            if self.retry_backoff_s:
+                time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+            result, status = self._run_isolated(spec)
+            if result is not None:
+                result.retries = attempt
+                return result
+            timed_out = status == "timeout"
+        if timed_out:
+            return _timeout_result(spec, self.max_retries, self.job_timeout_s)
+        return _crash_result(spec, retries=self.max_retries)
+
+    def _run_isolated(self, spec: JobSpec
+                      ) -> Tuple[Optional[JobResult], str]:
+        """One isolated attempt; returns (result, status).
+
+        ``status`` is ``"ok"``, ``"crashed"`` (the process died without
+        sending a result) or ``"timeout"`` (it was still running at the
+        per-job deadline and was killed).
+        """
+        ctx = multiprocessing.get_context(self.mp_context)
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_isolated_entry,
+                           args=(child, spec, list(sys.path)))
+        proc.start()
+        child.close()
+        try:
+            if not parent.poll(self.job_timeout_s):
+                return None, "timeout"
+            try:
+                return parent.recv(), "ok"
+            except EOFError:
+                return None, "crashed"
+        finally:
+            parent.close()
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - terminate() refused
+                proc.kill()
+                proc.join(timeout=5)
+
     def __repr__(self) -> str:
+        timeout = (f" timeout={self.job_timeout_s}s"
+                   if self.job_timeout_s is not None else "")
         return (f"<FleetRunner workers={self.workers} "
                 f"chunk_size={self.chunk_size or 'auto'} "
-                f"ctx={self.mp_context}>")
+                f"ctx={self.mp_context} retries={self.max_retries}"
+                f"{timeout}>")

@@ -114,7 +114,8 @@ def _execute(spec: JobSpec) -> JobResult:
                              worker_pid=os.getpid(), trace_path=trace_path)
 
         base_firmware = (_base_firmware(spec)
-                         if spec.category == "implementation" else None)
+                         if spec.category in ("implementation", "comm")
+                         else None)
         outcome = run_fault_experiment(
             system_factory, monitor_factory, watch_specs,
             spec.category, spec.kind, spec.seed, spec.duration_us, spec.plan,

@@ -1,0 +1,601 @@
+"""Tests for transport fault injection, retry and graceful degradation.
+
+Three layers under test:
+
+* :mod:`repro.comm.chaos` — seeded, deterministic wire faults over any
+  DebugLink (memory plane and frame plane);
+* :mod:`repro.comm.retry` — bounded retry/timeout/backoff with
+  idempotency-aware write handling;
+* :class:`repro.engine.session.DegradationPolicy` — budget-aware
+  degradation of passive observation plans instead of hard failure.
+
+The headline invariant: at a fixed chaos seed, two runs produce
+byte-identical fault schedules, transcripts, transport accounting and
+degradation event logs.
+"""
+
+import pytest
+
+from repro.comdes.examples import cruise_control_system, traffic_light_system
+from repro.comm.chaos import ChaosConfig, ChaosLink
+from repro.comm.frames import FrameDecoder, encode_frame
+from repro.comm.link import DebugLink, DirectLink, SerialLink
+from repro.comm.retry import RetryPolicy, RetryingLink
+from repro.comm.rs232 import Rs232Link
+from repro.engine.session import (
+    DebugSession,
+    DegradationPolicy,
+    TransportBudget,
+)
+from repro.errors import (
+    BudgetExceededError,
+    CommError,
+    DebuggerError,
+    LinkDownError,
+    TransientLinkError,
+)
+from repro.target.board import Board
+from repro.target.memory import RAM_BASE
+from repro.util.timeunits import ms
+
+
+def direct_link(values=()):
+    board = Board()
+    for offset, value in enumerate(values):
+        board.memory.poke(RAM_BASE + offset, value)
+    return DirectLink(board), board
+
+
+class FlakyLink(DebugLink):
+    """Scripted inner link: fails the first *fail_first* ops, then works.
+
+    ``lost_ack`` makes write failures execute before raising (the write
+    lands; only the completion ack is lost). ``op_cost_us`` is the
+    modeled cost of every successful operation.
+    """
+
+    kind = "flaky"
+
+    def __init__(self, fail_first=0, lost_ack=False, op_cost_us=10):
+        super().__init__()
+        self.board = Board()
+        self.fail_first = fail_first
+        self.lost_ack = lost_ack
+        self.op_cost_us = op_cost_us
+        self.attempts = 0
+        self.writes_executed = 0
+
+    def _gate(self, op):
+        self.attempts += 1
+        if self.attempts <= self.fail_first:
+            self._account(0)
+            raise TransientLinkError(op)
+
+    def read_block(self, base, count):
+        self._gate("read_block")
+        values = [self.board.memory.peek(base + i) for i in range(count)]
+        return values, self._account(self.op_cost_us, words_read=count)
+
+    def read_scatter(self, addrs):
+        self._gate("read_scatter")
+        values = [self.board.memory.peek(a) for a in addrs]
+        return values, self._account(self.op_cost_us, words_read=len(addrs))
+
+    def write_block(self, base, values):
+        self.attempts += 1
+        failing = self.attempts <= self.fail_first
+        if failing and not self.lost_ack:
+            self._account(0)
+            raise TransientLinkError("write_block")
+        for offset, value in enumerate(values):
+            self.board.memory.poke(base + offset, value)
+        self.writes_executed += 1
+        cost = self._account(self.op_cost_us, words_written=len(values))
+        if failing:
+            raise TransientLinkError("write_block", "ack lost")
+        return cost
+
+
+class TestChaosConfig:
+    def test_rates_validated(self):
+        with pytest.raises(CommError):
+            ChaosConfig(frame_loss=1.5)
+        with pytest.raises(CommError):
+            ChaosConfig(transient_error=-0.1)
+        with pytest.raises(CommError):
+            ChaosConfig(drop_ops=0)
+        with pytest.raises(CommError):
+            ChaosConfig(reorder_delay_us=-1)
+
+    def test_enabled_gate(self):
+        assert not ChaosConfig().enabled
+        assert not ChaosConfig(seed=99).enabled
+        assert ChaosConfig(frame_loss=0.01).enabled
+        assert ChaosConfig(transient_error=1.0).enabled
+
+    def test_with_seed_copies_everything_else(self):
+        config = ChaosConfig(seed=1, frame_loss=0.25, drop_ops=7,
+                             record_schedule=True)
+        clone = config.with_seed(42)
+        assert clone.seed == 42
+        assert clone.frame_loss == 0.25
+        assert clone.drop_ops == 7
+        assert clone.record_schedule
+        assert config.seed == 1  # original untouched
+
+
+class TestChaosMemoryPlane:
+    def test_disabled_is_a_transparent_passthrough(self):
+        inner, _ = direct_link(values=(11, 22, 33))
+        chaos = ChaosLink(inner, ChaosConfig(seed=5))
+        values, cost = chaos.read_block(RAM_BASE, 3)
+        assert values == [11, 22, 33]
+        assert cost == 0
+        assert chaos.transactions == 1 and chaos.words_read == 3
+        assert chaos.stats()["transient_errors"] == 0
+        assert chaos.schedule == []
+
+    def test_wrapper_delegates_unknown_attributes(self):
+        inner, board = direct_link()
+        chaos = ChaosLink(inner)
+        assert chaos.board is board
+        assert chaos.kind == "chaos[direct]"
+        chaos.halt_target()
+        assert board.stalled
+        chaos.resume_target()
+        assert not board.stalled
+
+    def test_certain_transient_error_raises_and_books_a_round_trip(self):
+        inner, _ = direct_link()
+        chaos = ChaosLink(inner, ChaosConfig(seed=1, transient_error=1.0))
+        with pytest.raises(TransientLinkError):
+            chaos.read_block(RAM_BASE, 1)
+        assert chaos.transactions == 1  # the failed trip is booked
+        assert chaos.words_read == 0
+        assert inner.transactions == 0  # it never reached the wire
+        assert chaos.stats()["transient_errors"] == 1
+
+    def test_read_corruption_flips_exactly_one_bit(self):
+        inner, _ = direct_link(values=(0, 0, 0, 0))
+        chaos = ChaosLink(inner, ChaosConfig(seed=3, read_corrupt=1.0))
+        values, _ = chaos.read_scatter([RAM_BASE + i for i in range(4)])
+        flipped = [v for v in values if v != 0]
+        assert len(flipped) == 1
+        assert bin(flipped[0]).count("1") == 1
+        assert chaos.stats()["reads_corrupted"] == 1
+        # the target itself was never touched
+        assert inner.read_scatter([RAM_BASE + i for i in range(4)])[0] == [0] * 4
+
+    def test_latency_spike_surcharges_the_op(self):
+        inner, _ = direct_link(values=(7,))
+        chaos = ChaosLink(inner, ChaosConfig(seed=2, latency_spike=1.0,
+                                             latency_spike_us=1234))
+        value, cost = chaos.read_word(RAM_BASE)
+        assert value == 7
+        assert cost == 1234  # DirectLink is free; the spike is the cost
+        assert chaos.cost_us_total == 1234
+        assert chaos.stats()["latency_spikes"] == 1
+
+    def test_link_drop_opens_an_outage_window(self):
+        inner, _ = direct_link()
+        chaos = ChaosLink(inner, ChaosConfig(seed=1, link_drop=1.0,
+                                             drop_ops=2))
+        with pytest.raises(TransientLinkError):  # op 0: the drop itself
+            chaos.read_word(RAM_BASE)
+        assert chaos.down
+        for _ in range(2):  # ops 1..2: inside the outage window
+            with pytest.raises(TransientLinkError):
+                chaos.read_word(RAM_BASE)
+        assert chaos.stats()["link_drops"] >= 1
+
+    def test_manual_drop_and_reattach(self):
+        inner, _ = direct_link(values=(9,))
+        chaos = ChaosLink(inner, ChaosConfig())  # even disabled configs
+        assert not chaos.down
+        chaos.drop()
+        assert chaos.down
+        with pytest.raises(TransientLinkError):
+            chaos.read_word(RAM_BASE)
+        with pytest.raises(TransientLinkError):
+            chaos.write_word(RAM_BASE, 1)
+        chaos.reattach()
+        assert not chaos.down
+        assert chaos.read_word(RAM_BASE)[0] == 9
+        assert chaos.stats()["link_drops"] == 1
+
+    def test_write_transients_split_rejected_and_lost_ack(self):
+        # Across seeds, a certain write transient must show both faces:
+        # rejected (memory untouched) and lost ack (the write landed).
+        landed = rejected = 0
+        for seed in range(32):
+            inner, board = direct_link(values=(0,))
+            chaos = ChaosLink(inner, ChaosConfig(seed=seed,
+                                                 transient_error=1.0))
+            with pytest.raises(TransientLinkError):
+                chaos.write_word(RAM_BASE, 77)
+            if board.memory.peek(RAM_BASE) == 77:
+                landed += 1
+            else:
+                rejected += 1
+        assert landed > 0 and rejected > 0
+
+    def test_schedule_is_deterministic_per_seed(self):
+        def schedule(seed):
+            inner, _ = direct_link(values=tuple(range(8)))
+            chaos = ChaosLink(inner, ChaosConfig(
+                seed=seed, transient_error=0.3, read_corrupt=0.2,
+                latency_spike=0.2, record_schedule=True))
+            for _ in range(40):
+                try:
+                    chaos.read_block(RAM_BASE, 8)
+                except TransientLinkError:
+                    pass
+            return list(chaos.schedule), chaos.stats()
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+
+def one_frame_link():
+    return SerialLink(Rs232Link(), host_latency_us=50)
+
+
+class TestChaosFramePlane:
+    FRAME = encode_frame(1, 2, 3)
+
+    def chaos_transmit(self, **rates):
+        link = ChaosLink(one_frame_link(), ChaosConfig(seed=4, **rates))
+        wire, t_done, t_arrive = link.transmit_frame(0, self.FRAME)
+        return link, wire, t_done, t_arrive
+
+    def test_loss_delivers_nothing(self):
+        link, wire, _, _ = self.chaos_transmit(frame_loss=1.0)
+        assert wire == b""
+        assert FrameDecoder().feed(wire) == []
+        assert link.stats()["frames_lost"] == 1
+        assert link.frames_carried == 1  # the line time was still spent
+
+    def test_corruption_fails_the_checksum(self):
+        link, wire, _, _ = self.chaos_transmit(frame_corrupt=1.0)
+        assert wire != self.FRAME and len(wire) == len(self.FRAME)
+        decoder = FrameDecoder()
+        assert decoder.feed(wire) == []
+        assert decoder.checksum_errors + decoder.framing_errors > 0
+        assert link.stats()["frames_corrupted"] == 1
+
+    def test_duplication_decodes_twice(self):
+        link, wire, _, _ = self.chaos_transmit(frame_duplicate=1.0)
+        assert wire == self.FRAME + self.FRAME
+        assert FrameDecoder().feed(wire) == [(1, 2, 3), (1, 2, 3)]
+        assert link.stats()["frames_duplicated"] == 1
+
+    def test_reordering_delays_arrival(self):
+        clean = one_frame_link().transmit_frame(0, self.FRAME)
+        link, wire, t_done, t_arrive = self.chaos_transmit(
+            frame_reorder=1.0, reorder_delay_us=4000)
+        assert wire == self.FRAME
+        assert t_done == clean[1]
+        assert t_arrive == clean[2] + 4000
+        assert link.stats()["frames_reordered"] == 1
+
+    def test_disabled_transmit_is_exact(self):
+        clean = one_frame_link().transmit_frame(0, self.FRAME)
+        link = ChaosLink(one_frame_link(), ChaosConfig(seed=9))
+        assert link.transmit_frame(0, self.FRAME) == clean
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(CommError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(CommError):
+            RetryPolicy(op_timeout_us=0)
+        with pytest.raises(CommError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(CommError):
+            RetryPolicy(jitter=2.0)
+
+    def test_backoff_grows_and_is_deterministic(self):
+        policy = RetryPolicy(backoff_us=100, backoff_multiplier=2.0,
+                             jitter=0.5, seed=1)
+        waits = [policy.backoff_for(0, attempt) for attempt in (2, 3, 4)]
+        assert waits == [policy.backoff_for(0, a) for a in (2, 3, 4)]
+        assert 100 <= waits[0] <= 150
+        assert 200 <= waits[1] <= 300
+        assert 400 <= waits[2] <= 600
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_us=100, backoff_multiplier=3.0,
+                             jitter=0.0)
+        assert policy.backoff_for(5, 2) == 100
+        assert policy.backoff_for(5, 3) == 300
+
+
+class TestRetryingLink:
+    def test_read_retries_through_transients(self):
+        inner = FlakyLink(fail_first=2)
+        link = RetryingLink(inner, RetryPolicy(max_attempts=3,
+                                               backoff_us=100, jitter=0.0))
+        values, cost = link.read_block(RAM_BASE, 2)
+        assert values == [0, 0]
+        assert link.retries == 2
+        assert link.giveups == 0
+        # total cost: two backoffs (100 + 200) plus the successful trip
+        assert cost == 100 + 200 + inner.op_cost_us
+        assert link.backoff_us_total == 300
+        assert link.transactions == 3  # two failed trips + the success
+
+    def test_exhaustion_raises_structured_link_down(self):
+        link = RetryingLink(FlakyLink(fail_first=99),
+                            RetryPolicy(max_attempts=3, backoff_us=0))
+        with pytest.raises(LinkDownError) as err:
+            link.read_scatter([RAM_BASE])
+        assert err.value.op == "read_scatter"
+        assert err.value.attempts == 3
+        assert isinstance(err.value.last_error, TransientLinkError)
+        assert link.giveups == 1
+        assert link.retries == 2
+
+    def test_timed_out_read_is_discarded_and_retried(self):
+        inner = FlakyLink(op_cost_us=5000)
+        link = RetryingLink(inner, RetryPolicy(max_attempts=2,
+                                               op_timeout_us=1000,
+                                               backoff_us=0))
+        with pytest.raises(LinkDownError):  # every attempt times out
+            link.read_block(RAM_BASE, 1)
+        assert link.timeouts == 2
+        assert inner.attempts == 2
+
+    def test_timed_out_write_is_accepted_and_counted(self):
+        inner = FlakyLink(op_cost_us=5000)
+        link = RetryingLink(inner, RetryPolicy(max_attempts=3,
+                                               op_timeout_us=1000))
+        link.write_block(RAM_BASE, [42])
+        assert link.timeouts == 1
+        assert inner.writes_executed == 1  # never re-issued
+        assert inner.board.memory.peek(RAM_BASE) == 42
+
+    def test_lost_ack_write_verifies_instead_of_reissuing(self):
+        inner = FlakyLink(fail_first=1, lost_ack=True)
+        link = RetryingLink(inner, RetryPolicy(max_attempts=3,
+                                               backoff_us=0))
+        link.write_block(RAM_BASE, [7, 8])
+        # attempt 1 landed (ack lost); the retry's verify-read matched,
+        # so the write was never issued twice
+        assert inner.writes_executed == 1
+        assert link.retries == 1
+        assert [inner.board.memory.peek(RAM_BASE + i) for i in (0, 1)] == [7, 8]
+
+    def test_rejected_write_reissues(self):
+        inner = FlakyLink(fail_first=1, lost_ack=False)
+        link = RetryingLink(inner, RetryPolicy(max_attempts=3,
+                                               backoff_us=0))
+        link.write_block(RAM_BASE, [9])
+        assert inner.writes_executed == 1  # first try never executed
+        assert inner.board.memory.peek(RAM_BASE) == 9
+
+    def test_verify_disabled_reissues_blindly(self):
+        inner = FlakyLink(fail_first=1, lost_ack=True)
+        link = RetryingLink(inner, RetryPolicy(max_attempts=3, backoff_us=0,
+                                               verify_writes=False))
+        link.write_block(RAM_BASE, [5])
+        assert inner.writes_executed == 2  # landed, then re-issued anyway
+        assert inner.board.memory.peek(RAM_BASE) == 5
+
+    def test_stacks_over_chaos(self):
+        inner, _ = direct_link(values=(1, 2, 3, 4))
+        chaos = ChaosLink(inner, ChaosConfig(seed=11, transient_error=0.4))
+        link = RetryingLink(chaos, RetryPolicy(max_attempts=8, backoff_us=0))
+        addrs = [RAM_BASE + i for i in range(4)]
+        for _ in range(25):
+            assert link.read_scatter(addrs)[0] == [1, 2, 3, 4]
+        assert link.retries > 0
+        assert link.kind == "retry[chaos[direct]]"
+
+    def test_transmit_frame_is_not_retried(self):
+        frame = encode_frame(1, 2, 3)
+        chaos = ChaosLink(one_frame_link(),
+                          ChaosConfig(seed=4, frame_loss=1.0))
+        link = RetryingLink(chaos, RetryPolicy(max_attempts=5))
+        wire, _, _ = link.transmit_frame(0, frame)
+        assert wire == b""  # the loss stands; fire-and-forget
+        assert link.retries == 0
+        assert link.frames_carried == 1
+
+
+def passive_session(seed=7, **kw):
+    defaults = dict(
+        chaos=ChaosConfig(seed=seed, transient_error=0.15,
+                          latency_spike=0.05, read_corrupt=0.02,
+                          latency_spike_us=200),
+        retry=RetryPolicy(max_attempts=5, backoff_us=50, seed=seed),
+    )
+    defaults.update(kw)
+    return DebugSession(traffic_light_system(), channel_kind="passive",
+                        poll_period_us=500, **defaults).setup()
+
+
+class TestChaosSessions:
+    def test_passive_session_completes_under_chaos(self):
+        session = passive_session()
+        session.run(ms(40))
+        stats = session.transport_stats()
+        assert stats["retries"] > 0  # the wire really was faulty
+        assert stats["channels"]["passive"]["retries"] == stats["retries"]
+        assert session.engine.commands_processed > 0
+
+    def test_same_seed_runs_are_identical(self):
+        def transcript(seed):
+            session = passive_session(seed=seed)
+            commands = []
+            session.channel.subscribe(
+                lambda c: commands.append(
+                    (c.kind, c.path, c.value, c.t_target, c.t_host)))
+            session.run(ms(40))
+            return commands, session.transport_stats()
+
+        first = transcript(3)
+        assert first == transcript(3)
+        assert first != transcript(4)
+
+    def test_each_node_gets_its_own_schedule(self):
+        session = DebugSession(
+            cruise_control_system(), channel_kind="passive",
+            poll_period_us=500,
+            chaos=ChaosConfig(seed=6, transient_error=0.2),
+            retry=RetryPolicy(max_attempts=6, backoff_us=0),
+        ).setup()
+        session.run(ms(30))
+        schedules = [link.inner.stats() for link in session.links.values()]
+        assert len(schedules) == 2
+        assert schedules[0] != schedules[1]
+
+    def test_active_session_survives_frame_loss(self):
+        def run(seed):
+            session = DebugSession(
+                traffic_light_system(), channel_kind="active",
+                chaos=ChaosConfig(seed=seed, frame_loss=0.4),
+            ).setup()
+            commands = []
+            session.channel.subscribe(
+                lambda c: commands.append((c.kind, c.path, c.value,
+                                           c.t_target, c.t_host)))
+            session.run(ms(600))
+            lost = sum(link.stats()["frames_lost"]
+                       for link in session.links.values())
+            return commands, lost
+
+        commands, lost = run(2)
+        assert lost > 0
+        assert commands  # a lossy wire degrades, never silences
+        assert (commands, lost) == run(2)
+
+    def test_exhausted_retries_surface_as_failed_polls(self):
+        session = passive_session(
+            chaos=ChaosConfig(seed=1, transient_error=1.0),
+            retry=RetryPolicy(max_attempts=2, backoff_us=0))
+        session.run(ms(10))
+        channel = session._passive_channels[0]
+        assert channel.polls_failed == channel.polls > 0
+        assert session.transport_stats()["retries"] > 0
+
+
+class TestDegradationPolicy:
+    def test_validation(self):
+        with pytest.raises(DebuggerError):
+            DegradationPolicy(max_slowdown=0)
+        with pytest.raises(DebuggerError):
+            DegradationPolicy(min_watches=0)
+
+    def test_budget_violation_degrades_instead_of_raising(self):
+        session = passive_session(
+            chaos=None, retry=None,
+            budget=TransportBudget(max_transactions=15),
+            degradation=DegradationPolicy())
+        session.run(ms(20))  # would need ~41 transactions undegraded
+        assert not session.budget_failed
+        assert session.degradation_events
+        assert session.degradation_events[0]["action"] == "slow_poll"
+        assert "transactions" in session.degradation_events[0]["reason"]
+        assert session.transport_stats()["transactions"] <= 15
+        assert (session.transport_stats()["degradations"]
+                == len(session.degradation_events))
+
+    def test_raise_stays_the_explicit_opt_in(self):
+        # without a policy the budget raise is unchanged
+        session = passive_session(
+            chaos=None, retry=None,
+            budget=TransportBudget(max_transactions=10))
+        with pytest.raises(BudgetExceededError):
+            session.run(ms(20))
+        assert session.budget_failed
+
+    def test_degradation_escalates_through_the_knobs(self):
+        session = passive_session(
+            chaos=None, retry=None,
+            budget=TransportBudget(max_transactions=3),
+            degradation=DegradationPolicy(max_slowdown=2, max_stride=2))
+        session.run(ms(20))
+        actions = [e["action"] for e in session.degradation_events]
+        assert actions[0] == "slow_poll"   # cheapest first
+        assert "split_plan" in actions     # then split
+        assert "shed_watch" in actions     # then shed (3 watches -> 1)
+        channel = session._passive_channels[0]
+        assert len(channel.watches) >= 1
+        assert channel.shed  # dropped symbols recorded
+
+    def test_exhausted_records_and_runs_by_default(self):
+        session = passive_session(
+            chaos=None, retry=None,
+            budget=TransportBudget(max_transactions=1),
+            degradation=DegradationPolicy(max_slowdown=1, max_stride=1))
+        session.run(ms(20))  # un-fittable, but the run still happens
+        assert not session.budget_failed
+        assert any(e["action"] == "exhausted"
+                   for e in session.degradation_events)
+        assert session.sim.now >= ms(20)
+
+    def test_raise_on_exhausted_restores_the_hard_failure(self):
+        session = passive_session(
+            chaos=None, retry=None,
+            budget=TransportBudget(max_transactions=1),
+            degradation=DegradationPolicy(max_slowdown=1, max_stride=1,
+                                          raise_on_exhausted=True))
+        with pytest.raises(BudgetExceededError):
+            session.run(ms(20))
+        assert session.budget_failed
+
+    def test_degradation_events_are_seed_stable(self):
+        def events(seed):
+            session = passive_session(
+                seed=seed,
+                budget=TransportBudget(max_transactions=20),
+                degradation=DegradationPolicy())
+            session.run(ms(20))
+            return [(e["action"], e["detail"], e["t_us"])
+                    for e in session.degradation_events]
+
+        assert events(5) == events(5)
+
+
+class TestPassiveChannelDegradationHooks:
+    def make_channel(self):
+        session = passive_session(chaos=None, retry=None)
+        return session, session._passive_channels[0]
+
+    def test_stride_splits_but_plan_stays_full(self):
+        session, channel = self.make_channel()
+        full = list(channel.plan.addrs)
+        channel.set_stride(2)
+        assert channel.stride == 2
+        assert list(channel.plan.addrs) == full  # the full plan survives
+        assert len(channel._groups) == 2
+        session.run(ms(20))
+        # strided polls read fewer words per tick than the full plan
+        assert session.transport_stats()["words_read"] < \
+            (channel.polls + 1) * len(full)
+
+    def test_strided_polls_still_see_every_watch(self):
+        session, channel = self.make_channel()
+        channel.set_stride(3)
+        commands = []
+        session.channel.subscribe(lambda c: commands.append(c.path))
+        session.run(ms(400))
+        assert any(p.startswith("state:") for p in commands)
+        assert any(p.startswith("signal:") for p in commands)
+
+    def test_shed_never_drops_the_last_watch(self):
+        _, channel = self.make_channel()
+        dropped = channel.shed_watches(10)
+        assert len(channel.watches) == 1
+        assert len(dropped) == 2
+        assert channel.shed == dropped
+        assert channel.shed_watches(1) == []
+
+    def test_slowed_poll_reschedules_at_the_new_period(self):
+        session, channel = self.make_channel()
+        session.run(ms(10))
+        before = channel.polls
+        channel.set_poll_period(2000)
+        session.run(ms(10) + ms(8))
+        assert channel.polls - before == ms(8) // 2000
