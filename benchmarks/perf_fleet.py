@@ -17,6 +17,12 @@ it measures:
   is the hard invariant (CI floors it at 1): parallelism must never
   change results.
 
+The payload records the scheduling configuration that produced the
+number — ``runner`` (class name), the *effective* ``chunk_size`` (the
+auto policy resolved against this corpus) and ``max_retries`` — so
+``speedup_4w`` trajectories across PRs compare like with like instead
+of silently mixing chunking/retry regimes.
+
 Writes ``BENCH_fleet.json`` next to this file so the fleet's perf
 trajectory is tracked across PRs.
 
@@ -110,6 +116,9 @@ def main() -> None:
         "duration_us_per_job": kw["duration_us"],
         "workers": WORKERS,
         "cpu_count": os.cpu_count() or 1,
+        "runner": type(fleet_runner).__name__,
+        "chunk_size": fleet_runner._chunk_size_for(jobs),
+        "max_retries": fleet_runner.max_retries,
         "serial_s": round(serial_s, 3),
         "fleet_s": round(fleet_best, 3),
         "serial_jobs_per_sec": round(jobs / serial_s, 1),

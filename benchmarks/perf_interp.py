@@ -12,9 +12,12 @@ superinstruction fusion pass targets. Both decodings are measured:
 * ``fusion_speedup`` — their ratio, the machine-independent gate.
 
 Fusion must be *observably invisible*, so the run also asserts the two
-decodings retire identical instruction and cycle counts. Writes
-``BENCH_interp.json`` next to this file so the perf trajectory of the
-hot loop is tracked across PRs.
+decodings retire identical instruction and cycle counts. The payload
+also carries ``opcode_profile`` — the measured per-opcode retirement
+counts from ``Cpu.run(profile=...)`` on the same workload, hottest
+first — so fusion and batch-tier decisions are grounded in what the
+scoreboard loop actually executes. Writes ``BENCH_interp.json`` next to
+this file so the perf trajectory of the hot loop is tracked across PRs.
 
 Usage::
 
@@ -34,6 +37,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 from repro.target.assembler import Assembler
 from repro.target.cpu import Cpu, StopReason
+from repro.target.isa import profile_names
 from repro.target.memory import RAM_BASE, MemoryMap
 
 #: loop iterations per rep; 8 instructions each
@@ -93,6 +97,17 @@ def main() -> None:
     fused_rate, fused_result, fused_wall, fused_rows = best_of(
         iterations, fuse=True)
 
+    # measured opcode mix of the scoreboard workload (plain decoded
+    # opcodes — what the fusion and batch tiers dispatch on)
+    memory = MemoryMap(16)
+    cpu = Cpu(memory)
+    cpu.load(counting_loop(QUICK_ITERS))
+    cpu.reset_task(0)
+    counts: dict = {}
+    profiled = cpu.run(max_instructions=10 * QUICK_ITERS, profile=counts)
+    assert profiled.reason is StopReason.HALTED, profiled
+    opcode_profile = profile_names(counts)
+
     # the timing-identity invariant, enforced on the scoreboard workload:
     # fusion changes wall time, never the architectural counters
     assert fused_result.instructions == plain_result.instructions, (
@@ -109,6 +124,7 @@ def main() -> None:
         "wall_s": round(plain_wall, 6),
         "fused_wall_s": round(fused_wall, 6),
         "instructions": plain_result.instructions,
+        "opcode_profile": opcode_profile,
         "quick": quick,
     }
 

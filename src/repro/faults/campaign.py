@@ -434,12 +434,15 @@ def run_campaign(
     """Inject faults, run both debuggers on each, aggregate detection.
 
     With ``runner=None`` experiments run inline, one after another. Pass
-    a :class:`repro.fleet.FleetRunner` (or
-    :class:`repro.fleet.SerialRunner`) to execute the same corpus
-    through the fleet subsystem — worker processes for scale-out —
-    which requires the three factories to be importable module-level
-    callables (``code_watch_specs`` given as a factory, not a list).
-    Parallel and serial campaigns produce identical results.
+    a :class:`repro.fleet.FleetRunner` (worker processes for scale-out),
+    a :class:`repro.fleet.SerialRunner`, or a
+    :class:`repro.fleet.BatchRunner` (in-process, jobs grouped into
+    identical-firmware cohorts by fingerprint — the right default on
+    core-starved hosts) to execute the same corpus through the fleet
+    subsystem, which requires the three factories to be importable
+    module-level callables (``code_watch_specs`` given as a factory,
+    not a list). All runners produce identical results through the
+    canonical merge.
 
     ``comm_kinds`` (off by default) adds the transport-fault plane:
     each kind in :data:`~repro.faults.comm.COMM_FAULT_KINDS` runs the

@@ -7,11 +7,13 @@ layer: fault campaigns and multi-board simulations stop serializing on
 one interpreter and fan out over worker processes, so scenario count
 scales with cores instead of wall-clock.
 
-Architecture — four layers, strictly stacked::
+Architecture — five layers, strictly stacked::
 
     merge.py    results -> CampaignResult     canonical order, loud failures
     pool.py     FleetRunner / SerialRunner    chunked dispatch, crash retry,
                                               deterministic seed derivation
+    batch.py    BatchRunner / BoardCohort     firmware-fingerprint cohorts,
+                                              SoA lockstep board execution
     worker.py   run_job(JobSpec) -> JobResult the process entry point
     jobs.py     JobSpec / JobResult           picklable recipes, callable refs
 
@@ -37,7 +39,14 @@ The load-bearing design rules:
 Entry points:
 
 * campaigns — ``run_campaign(..., runner=FleetRunner(workers=4))`` in
-  :mod:`repro.faults.campaign`;
+  :mod:`repro.faults.campaign`; on a core-starved host prefer
+  ``runner=BatchRunner()`` (cohort-grouped, in-process) — process
+  scale-out cannot win there (``speedup_4w`` 0.87x on 1 CPU) but
+  identical-firmware cohorts can;
+* seed sweeps — :class:`repro.fleet.batch.BoardCohort` runs N
+  same-firmware boards in SoA lockstep via
+  :class:`repro.target.batch.BatchCpu` (see ``benchmarks/perf_batch.py``
+  for the measured 16/64-lane speedups);
 * multi-board sharding — :class:`repro.rtos.sharding.ShardedDtmKernel`
   runs node-subset kernels in persistent shard workers
   (:mod:`repro.fleet.shards`) synchronized at network-lookahead epochs;
@@ -45,6 +54,12 @@ Entry points:
   campaign throughput, speedup and serial/parallel parity across PRs.
 """
 
+from repro.fleet.batch import (
+    BatchRunner,
+    BoardCohort,
+    cohorts_of,
+    firmware_fingerprint,
+)
 from repro.fleet.jobs import (
     JobResult,
     JobSpec,
@@ -66,6 +81,7 @@ __all__ = [
     "JobSpec", "JobResult", "callable_ref", "resolve_ref",
     "enumerate_campaign_jobs",
     "FleetRunner", "SerialRunner", "default_workers",
+    "BatchRunner", "BoardCohort", "cohorts_of", "firmware_fingerprint",
     "derive_seed", "seed_stream",
     "run_job", "run_job_batch",
     "merge_results",

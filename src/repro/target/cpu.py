@@ -40,10 +40,11 @@ from repro.target.isa import (
     FUSABLE_ALU,
     Instr,
     OP_ADD, OP_AND, OP_DIV, OP_DUP, OP_EMIT, OP_EQ, OP_F_ALU_JNZ,
-    OP_F_ALU_JZ, OP_F_ALU_ST, OP_F_LOAD_JNZ, OP_F_LOAD_JZ, OP_F_LOAD_ST,
-    OP_F_PUSH_ST, OP_GE, OP_GT, OP_HALT, OP_JMP, OP_JNZ, OP_JZ, OP_LDI,
-    OP_LE, OP_LOAD, OP_LT, OP_MAX, OP_MIN, OP_MOD, OP_MUL, OP_NE, OP_NEG,
-    OP_NOT, OP_OR, OP_POP, OP_PUSH, OP_STI, OP_STORE, OP_SUB, OP_SWAP,
+    OP_F_ALU_JZ, OP_F_ALU_ST, OP_F_EMIT, OP_F_LOAD_JNZ, OP_F_LOAD_JZ,
+    OP_F_LOAD_ST, OP_F_PUSH_ST, OP_GE, OP_GT, OP_HALT, OP_JMP, OP_JNZ,
+    OP_JZ, OP_LDI, OP_LE, OP_LOAD, OP_LT, OP_MAX, OP_MIN, OP_MOD, OP_MUL,
+    OP_NE, OP_NEG, OP_NOT, OP_OR, OP_POP, OP_PUSH, OP_STI, OP_STORE,
+    OP_SUB, OP_SWAP,
 )
 from repro.target.memory import RAM_BASE
 from repro.target.peripherals import Gpio
@@ -70,6 +71,26 @@ class RunResult(NamedTuple):
     reason: StopReason
     instructions: int
     cycles: int
+
+
+class CpuState(NamedTuple):
+    """A bit-exact snapshot of one CPU's architectural run state.
+
+    This is the peel-off seam of the batch tier
+    (:mod:`repro.target.batch`): a lane leaving lockstep execution is
+    rebuilt as an ordinary :class:`Cpu` from exactly these fields (plus
+    its RAM plane, which lives on :class:`~repro.target.memory.MemoryMap`
+    and is snapshotted separately — memory is a shared bus peripheral,
+    not CPU-internal state). Tuples, not lists: a state is a value.
+    """
+
+    pc: int
+    stack: Tuple[int, ...]
+    cycles: int
+    instructions: int
+    halted: bool
+    resume_pc: int
+    emit_log: Tuple[Tuple[int, int, int], ...]
 
 
 class Cpu:
@@ -146,7 +167,8 @@ class Cpu:
         """Install superinstruction rows over the decoded program.
 
         Greedy longest-match over the plain rows: quads
-        (``operand operand alu STORE/JZ/JNZ``) first, then pairs
+        (``operand operand alu STORE/JZ/JNZ``) first, then the command
+        preamble triple (``PUSH ch; PUSH/LOAD v; EMIT``), then pairs
         (``PUSH/LOAD STORE`` moves and ``LOAD JZ/JNZ`` tests). A fused
         row never spans a branch target or task entry — the sequence
         starting *at* such a boundary fuses normally, which is what lets
@@ -196,6 +218,21 @@ class Cpu:
                     fused += 1
                     i += 4
                     continue
+            # triple: PUSH ch; [PUSH|LOAD] v; EMIT kind (command preamble)
+            if (op == OP_PUSH and i + 2 < ncode
+                    and i + 1 not in boundaries and i + 2 not in boundaries):
+                op2, arg2, cst2 = rows[i + 1]
+                op3, arg3, cst3 = rows[i + 2]
+                if (op3 == OP_EMIT
+                        and (op2 == OP_PUSH or op2 == OP_LOAD)):
+                    bmode = op2 == OP_LOAD
+                    frows[i] = (OP_F_EMIT,
+                                (arg, bmode,
+                                 arg2 - ram_base if bmode else arg2, arg3),
+                                cst + cst2 + cst3)
+                    fused += 1
+                    i += 3
+                    continue
             # pair: PUSH/LOAD + STORE, LOAD + JZ/JNZ
             if i + 1 < ncode and i + 1 not in boundaries:
                 op2, arg2, cst2 = rows[i + 1]
@@ -230,23 +267,57 @@ class Cpu:
         self.halted = False
         self._resume_pc = -1
 
+    # -- state transfer (the batch tier's peel-off seam) ---------------------
+
+    def export_state(self) -> CpuState:
+        """Snapshot the architectural run state as a :class:`CpuState`.
+
+        Round-trips exactly through :meth:`import_state`: a CPU rebuilt
+        from its own export is indistinguishable at every stop. RAM is
+        not included — it lives on :attr:`memory` and is transferred by
+        whoever owns the bus (the batch tier moves it column-wise).
+        """
+        return CpuState(self.pc, tuple(self.stack), self.cycles,
+                        self.instructions, self.halted, self._resume_pc,
+                        tuple(self.emit_log))
+
+    def import_state(self, state: CpuState) -> None:
+        """Adopt *state* wholesale; list identities are preserved so any
+        outstanding references to ``stack``/``emit_log`` stay live."""
+        self.pc = state.pc
+        self.stack[:] = state.stack
+        self.cycles = state.cycles
+        self.instructions = state.instructions
+        self.halted = state.halted
+        self._resume_pc = state.resume_pc
+        self.emit_log[:] = state.emit_log
+
     # -- execution ---------------------------------------------------------
 
     def run(self, max_instructions: int = DEFAULT_RUN_LIMIT,
             single_step: bool = False,
-            break_on_breakpoints: bool = False) -> RunResult:
+            break_on_breakpoints: bool = False,
+            profile: Optional[dict] = None) -> RunResult:
         """Execute until HALT, a debug stop, or the instruction budget.
 
         The debug features are priced here, once: only when a write hook,
-        an armed breakpoint set, or single-stepping is actually present
-        does execution take the checked path.
+        an armed breakpoint set, single-stepping, or an opcode profile is
+        actually present does execution take the checked path.
+
+        ``profile`` is the measurement hook driving fusion and batch
+        decisions: pass a dict (or ``collections.Counter``) and every
+        retired instruction increments ``profile[opcode]`` — plain
+        decoded opcodes (the reference stream, what a fusion pass needs
+        to see), never superinstruction ids. Like breakpoints, the hook
+        is priced once here: the fast loops carry no counting code.
         """
         if self.halted:
             return RunResult(StopReason.HALTED, 0, 0)
-        if (single_step or self.memory.write_hook is not None
+        if (single_step or profile is not None
+                or self.memory.write_hook is not None
                 or (break_on_breakpoints and self.breakpoints)):
             return self._run_debug(max_instructions, single_step,
-                                   break_on_breakpoints)
+                                   break_on_breakpoints, profile)
         # uncontrolled execution invalidates any pending resume-over marker
         self._resume_pc = -1
         # fuse is re-consulted here so toggling it after load() (Board
@@ -524,7 +595,7 @@ class Cpu:
         F_ALU_ST = OP_F_ALU_ST; F_ALU_JZ = OP_F_ALU_JZ
         F_ALU_JNZ = OP_F_ALU_JNZ; F_PUSH_ST = OP_F_PUSH_ST
         F_LOAD_ST = OP_F_LOAD_ST; F_LOAD_JZ = OP_F_LOAD_JZ
-        F_LOAD_JNZ = OP_F_LOAD_JNZ
+        F_LOAD_JNZ = OP_F_LOAD_JNZ; F_EMIT = OP_F_EMIT
         LOAD = OP_LOAD; PUSH = OP_PUSH; STORE = OP_STORE; ADD = OP_ADD
         EQ = OP_EQ; NE = OP_NE; LT = OP_LT; LE = OP_LE; GT = OP_GT; GE = OP_GE
         JMP = OP_JMP; JZ = OP_JZ; JNZ = OP_JNZ; SUB = OP_SUB; MUL = OP_MUL
@@ -704,6 +775,26 @@ class Cpu:
                         pc = target
                     else:
                         pc += 2
+                elif op == F_EMIT:
+                    path_id, bmode, bval, kind = arg
+                    if (n + 2 > limit or len(stack) + 2 > depth
+                            or (bmode and not 0 <= bval < nram)):
+                        rows = prows
+                        run_cycles -= cst
+                        n -= 1
+                        continue
+                    value = cells[bval] if bmode else bval
+                    reads += bmode
+                    emit_log.append((kind, path_id, value))
+                    if handler is not None:
+                        # handler observes the full preamble's cycle charge,
+                        # exactly like the unfused EMIT step
+                        self.cycles = base_cycles + run_cycles
+                        in_handler = True
+                        handler(kind, path_id, value)
+                        in_handler = False
+                    n += 2
+                    pc += 3
                 elif op == LOAD:
                     index = arg - ram_base
                     if not 0 <= index < nram:
@@ -894,8 +985,10 @@ class Cpu:
     # -- checked execution (debugger path) ----------------------------------
 
     def _run_debug(self, limit: int, single_step: bool,
-                   break_on_breakpoints: bool) -> RunResult:
-        """Full-fidelity loop: breakpoints, write hooks, single-stepping.
+                   break_on_breakpoints: bool,
+                   profile: Optional[dict] = None) -> RunResult:
+        """Full-fidelity loop: breakpoints, write hooks, single-stepping,
+        opcode-frequency profiling.
 
         Memory goes through :meth:`MemoryMap.read_word` / ``write_word`` so
         data watchpoints and access accounting behave exactly like the
@@ -926,6 +1019,8 @@ class Cpu:
             self.cycles += cst
             self.instructions += 1
             n += 1
+            if profile is not None:
+                profile[op] = profile.get(op, 0) + 1
             try:
                 if op == OP_HALT:
                     self.halted = True

@@ -86,6 +86,9 @@ OP_F_LOAD_ST = FUSE_BASE + 4
 OP_F_LOAD_JZ = FUSE_BASE + 5
 #: LOAD a; JNZ t
 OP_F_LOAD_JNZ = FUSE_BASE + 6
+#: PUSH ch; [LOAD|PUSH] v; EMIT kind  (the codegen's command preamble —
+#: the residual scalar work left after PR 5's quads/pairs)
+OP_F_EMIT = FUSE_BASE + 7
 
 #: binary ALU opcodes legal as the third constituent of a fused quad
 #: (everything with stack effect ``a b -- r``; DIV/MOD fuse too — their
@@ -94,6 +97,17 @@ FUSABLE_ALU = frozenset((
     OP_ADD, OP_SUB, OP_MUL, OP_EQ, OP_NE, OP_LT, OP_LE, OP_GT, OP_GE,
     OP_MIN, OP_MAX, OP_AND, OP_OR, OP_DIV, OP_MOD,
 ))
+
+
+def profile_names(counts) -> dict:
+    """An opcode-frequency profile keyed by mnemonic, hottest first.
+
+    *counts* is the int-keyed mapping filled by ``Cpu.run(profile=...)``;
+    the result is what benchmark dumps and humans read. Deterministic:
+    ties break on opcode encoding (i.e. dispatch order).
+    """
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return {OPCODES[op]: count for op, count in ordered}
 
 
 def cycles_of(op: str) -> int:

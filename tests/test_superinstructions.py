@@ -326,6 +326,29 @@ class TestFusionPass:
         code = [Instr("LOAD", RAM_BASE), Instr("JNZ", 99), Instr("HALT")]
         assert build(code, fuse=True).fused_rows == 0
 
+    def test_emit_triple_fuses_both_value_modes(self):
+        # PUSH ch; PUSH v; EMIT and PUSH ch; LOAD v; EMIT each collapse
+        # to one command-preamble row
+        code = [Instr("PUSH", 1), Instr("PUSH", 9), Instr("EMIT", 2),
+                Instr("PUSH", 3), Instr("LOAD", RAM_BASE), Instr("EMIT", 4),
+                Instr("HALT")]
+        fused, plain = build(code, fuse=True), build(code, fuse=False)
+        assert fused.fused_rows == 2
+        assert run_guarded(fused) == run_guarded(plain)
+        assert snap(fused) == snap(plain)
+        assert fused.emit_log == [(2, 1, 9), (4, 3, 0)]
+
+    def test_emit_triple_does_not_span_a_branch_target(self):
+        # JMP 2 lands on the LOAD inside the would-be triple
+        code = [Instr("JMP", 2), Instr("PUSH", 1), Instr("LOAD", RAM_BASE),
+                Instr("EMIT", 2), Instr("HALT")]
+        cpu = build(code, fuse=True)
+        assert cpu.fused_rows == 0
+        assert cpu._frows is None or cpu._frows[1] == cpu._rows[1]
+        fused, plain = build(code, fuse=True), build(code, fuse=False)
+        assert run_guarded(fused) == run_guarded(plain)
+        assert snap(fused) == snap(plain)
+
 
 class TestDecomposeEdges:
     def test_divide_by_zero_fault_is_identical(self):
@@ -372,6 +395,34 @@ class TestDecomposeEdges:
             fused.run()
             plain.run()
             assert snap(fused) == snap(plain)
+
+    def test_emit_triple_budget_decompose(self):
+        # LIMIT landing on either interior instruction of the command
+        # preamble must decompose to a legal unfused pc and resume clean
+        code = [Instr("PUSH", 1), Instr("PUSH", 9), Instr("EMIT", 2),
+                Instr("HALT")]
+        for limit in range(1, 5):
+            fused, plain = build(code, fuse=True), build(code, fuse=False)
+            assert fused.fused_rows == 1
+            fused.run(max_instructions=limit)
+            plain.run(max_instructions=limit)
+            assert snap(fused) == snap(plain)
+            fused.run()
+            plain.run()
+            assert snap(fused) == snap(plain)
+
+    def test_emit_triple_transient_overflow_decompose(self):
+        # depth 1: the preamble's two pushes cannot both fit, so the
+        # fused row must decompose and fault exactly like the plain pair
+        code = [Instr("PUSH", 1), Instr("PUSH", 9), Instr("EMIT", 2),
+                Instr("HALT")]
+        fused = build(code, fuse=True, depth=1)
+        plain = build(code, fuse=False, depth=1)
+        assert fused.fused_rows == 1
+        outcome = run_guarded(fused)
+        assert outcome == run_guarded(plain)
+        assert outcome == ("fault", ("stack overflow", 1))
+        assert snap(fused) == snap(plain)
 
     def test_emit_handler_observes_identical_cycles(self):
         asm = Assembler()

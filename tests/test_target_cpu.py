@@ -138,6 +138,41 @@ class TestStackAndControl:
         assert result.cycles == cycles_of("PUSH") + cycles_of("HALT")
 
 
+class TestOpcodeProfile:
+    LOOP = [Instr("LOAD", RAM_BASE), Instr("PUSH", 1), Instr("ADD"),
+            Instr("STORE", RAM_BASE), Instr("LOAD", RAM_BASE),
+            Instr("PUSH", 5), Instr("LT"), Instr("JNZ", 0), Instr("HALT")]
+
+    def test_profile_counts_plain_opcodes(self):
+        from repro.target.isa import profile_names
+        cpu, _ = make_cpu(self.LOOP)
+        counts = {}
+        result = cpu.run(profile=counts)
+        assert result.reason is StopReason.HALTED
+        named = profile_names(counts)
+        # 5 loop rounds x {LOAD:2, PUSH:2, ADD, STORE, LT, JNZ} + HALT
+        assert named["LOAD"] == 10 and named["PUSH"] == 10
+        assert named["ADD"] == named["STORE"] == named["LT"] == 5
+        assert named["HALT"] == 1
+        assert sum(counts.values()) == result.instructions
+
+    def test_profile_counts_constituents_not_superinstructions(self):
+        # fusion is on by default; the profile must still speak plain ISA
+        cpu, _ = make_cpu(self.LOOP)
+        assert cpu.fused_rows > 0
+        counts = {}
+        cpu.run(profile=counts)
+        from repro.target.isa import OPCODES
+        assert all(op < len(OPCODES) for op in counts)
+
+    def test_profile_unset_is_untouched_and_identical(self):
+        plain_cpu, _ = make_cpu(self.LOOP)
+        profiled_cpu, _ = make_cpu(self.LOOP)
+        r1 = plain_cpu.run()
+        r2 = profiled_cpu.run(profile={})
+        assert (r1.instructions, r1.cycles) == (r2.instructions, r2.cycles)
+
+
 class TestMemoryMap:
     def test_out_of_range_access_traps(self):
         memory = MemoryMap(16)
