@@ -27,6 +27,7 @@ from repro.comm.link import DebugLink, JtagLink, SerialLink
 from repro.comm.protocol import Command, CommandKind
 from repro.comm.rs232 import Rs232Link
 from repro.errors import CommError, LinkDownError, TransientLinkError
+from repro.obs.runtime import OBS
 from repro.sim.kernel import Simulator
 from repro.target.board import Board
 from repro.target.firmware import FirmwareImage
@@ -256,6 +257,17 @@ class PassiveChannel(DebugChannel):
         self.polls = 0
         self.polls_failed = 0
         self.scan_us_total = 0
+        if OBS.metrics is not None:
+            # the channel's poll books become poll.* registry series
+            # (read once per snapshot; the poll path stays untouched)
+            OBS.metrics.bind_stats(
+                "poll",
+                lambda: {"polls": self.polls,
+                         "polls_failed": self.polls_failed,
+                         "scan_us_total": self.scan_us_total,
+                         "watches": len(self.watches),
+                         "shed": len(self.shed)},
+                owner=self)
         self.plan: Optional[PollPlan] = None
         self.shed: List[str] = []  #: symbols dropped by shed_watches
         self._addrs: List[int] = []  # resolved once at start()
@@ -387,9 +399,17 @@ class PassiveChannel(DebugChannel):
         except (TransientLinkError, LinkDownError):
             # the wire ate this poll; the next tick resamples everything
             self.polls_failed += 1
+            if OBS.metrics is not None:
+                OBS.metrics.counter("poll.failed",
+                                    channel=self.link.label).inc()
             self.sim.schedule(self.poll_period_us, self._poll)
             return
         self.scan_us_total += scan_cost
+        if OBS.spans is not None:
+            # one slice per poll scan, timed by the transport cost model
+            OBS.spans.emit("poll", t_poll, scan_cost,
+                           track=("comm", self.link.label), cat="poll",
+                           args={"words": len(plan.addrs)})
         last = self._last
         for offset, value in enumerate(values):
             index = indices[offset] if indices is not None else offset

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.comm.link import DebugLink
 from repro.errors import CommError, TransientLinkError
+from repro.obs.runtime import OBS
 from repro.util.seeds import derive_seed
 
 #: counters every wrapper mirrors from its inner link
@@ -222,6 +223,13 @@ class ChaosLink(_Wrapper):
         return random.Random(derive_seed(self.config.seed, plane, op_index))
 
     def _record(self, plane: str, op_index: int, op: str, fault: str) -> None:
+        # every injected fault funnels through here, so this is the one
+        # telemetry tap for chaos outcomes: a chaos.fault series per
+        # (plane, fault kind). The aggregate counters stay on stats()
+        # (bound as link.* series by DebugLink).
+        if OBS.metrics is not None:
+            OBS.metrics.counter("chaos.fault", plane=plane,
+                                fault=fault).inc()
         if self.config.record_schedule:
             self.schedule.append((plane, op_index, op, fault))
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.comm.jtag import JtagProbe
 from repro.comm.rs232 import Rs232Link
 from repro.errors import CommError
+from repro.obs.runtime import OBS
 from repro.target.board import Board
 
 
@@ -59,6 +60,17 @@ class DebugLink:
         #: wrapped transports (:mod:`repro.comm.retry`).
         self.retries = 0
         self.timeouts = 0
+        if OBS.metrics is not None:
+            # stats() IS the registry series (repro.obs unification):
+            # every key folds into a link.* counter labeled by the
+            # dict's own kind/label fields, read at snapshot time so
+            # wrapper kinds ("chaos[jtag]") and later channel label
+            # claims land correctly. Wrappers mirror their inner
+            # link's counters, so each series is one link's honest
+            # books — aggregate via the session's transport.* series
+            # (outermost links only), not by summing link.* kinds.
+            OBS.metrics.bind_stats("link", self.stats, owner=self,
+                                   label_keys=("kind", "label"))
 
     def _account(self, cost_us: int, words_read: int = 0,
                  words_written: int = 0, frames: int = 0) -> int:

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.comm.chaos import _Wrapper
 from repro.comm.link import DebugLink
 from repro.errors import CommError, LinkDownError, TransientLinkError
+from repro.obs.runtime import OBS
 from repro.util.seeds import derive_seed
 
 
@@ -135,6 +136,14 @@ class RetryingLink(_Wrapper):
         return (self.policy.op_timeout_us is not None
                 and cost > self.policy.op_timeout_us)
 
+    @staticmethod
+    def _outcome(op: str, outcome: str) -> None:
+        """Per-(op, outcome) telemetry; aggregate counts stay on stats()
+        (bound as link.* series by DebugLink)."""
+        if OBS.metrics is not None:
+            OBS.metrics.counter("retry.outcome", op=op,
+                                outcome=outcome).inc()
+
     def _retry_read(self, op: str, fn):
         """Run a read-class op with retry; returns (result, total_cost)."""
         op_index = self._ops
@@ -146,6 +155,7 @@ class RetryingLink(_Wrapper):
             if attempt > 1:
                 spent += self._backoff(op_index, attempt)
                 self.retries += 1
+                self._outcome(op, "retry")
             before = self._snapshot()
             try:
                 result, cost = fn()
@@ -159,11 +169,13 @@ class RetryingLink(_Wrapper):
                 # the result is stale by the time it lands: discard and
                 # retry — a read has no target-visible effect to protect
                 self.timeouts += 1
+                self._outcome(op, "timeout_discarded")
                 last = TransientLinkError(op, f"attempt exceeded "
                                           f"{policy.op_timeout_us}us")
                 continue
             return result, spent
         self.giveups += 1
+        self._outcome(op, "giveup")
         raise LinkDownError(op, policy.max_attempts, last)
 
     def _verify_write(self, read_back, intended: List[int]) -> bool:
@@ -193,9 +205,11 @@ class RetryingLink(_Wrapper):
             if attempt > 1:
                 spent += self._backoff(op_index, attempt)
                 self.retries += 1
+                self._outcome(op, "retry")
                 if policy.verify_writes and self._verify_write(read_back,
                                                                intended):
                     # lost ack: the previous attempt landed — done
+                    self._outcome(op, "verified_landed")
                     return spent
             before = self._snapshot()
             try:
@@ -209,8 +223,10 @@ class RetryingLink(_Wrapper):
             if self._timed_out(cost):
                 # the write completed, only slowly: record, accept
                 self.timeouts += 1
+                self._outcome(op, "timeout_accepted")
             return spent
         self.giveups += 1
+        self._outcome(op, "giveup")
         raise LinkDownError(op, policy.max_attempts, last)
 
     # -- memory plane --------------------------------------------------------

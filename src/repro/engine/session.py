@@ -50,6 +50,7 @@ from repro.gdm.mapping import MappingTable, default_comdes_table
 from repro.gdm.model import CommandBinding, GdmModel
 from repro.gdm.scenegen import gdm_to_scene
 from repro.meta.registry import MetamodelRegistry
+from repro.obs.runtime import OBS
 from repro.render.ascii_art import scene_to_ascii
 from repro.render.svg import scene_to_svg
 from repro.rtos.kernel import DtmKernel
@@ -336,6 +337,12 @@ class DebugSession:
         self.degradation_events: List[Dict[str, object]] = []
         #: per-node passive channels (degradation targets)
         self._passive_channels: List[PassiveChannel] = []
+        if OBS.metrics is not None:
+            # the canonical transport totals (outermost links only, so
+            # no wrapper double-count) become transport.* series —
+            # including the merged retry/timeout/degradation key set
+            OBS.metrics.bind_stats("transport", self.transport_stats,
+                                   owner=self)
 
     def _log(self, step: int, message: str) -> None:
         self.workflow_log.append(f"[{step}] {message}")
@@ -503,7 +510,13 @@ class DebugSession:
         """
         self._require(self.kernel is not None, "run step5_connect first")
         self._degrade_to_fit(duration_us)
+        t_start = self.sim.now
         self.kernel.run(duration_us)
+        if OBS.spans is not None:
+            OBS.spans.emit("session.run", t_start,
+                           self.sim.now - t_start,
+                           track=("engine", "session"), cat="session",
+                           args={"horizon_us": duration_us})
         self._check_budget()
         return self
 
@@ -572,6 +585,11 @@ class DebugSession:
     def _record_degradation(self, event: Dict[str, object]) -> None:
         event.setdefault("t_us", self.sim.now)
         self.degradation_events.append(event)
+        if OBS.metrics is not None:
+            # one series per ladder rung (slow_poll / split_plan /
+            # shed_watch / over_budget / exhausted)
+            OBS.metrics.counter("session.degradation",
+                                action=str(event.get("action"))).inc()
 
     def projected_stats(self, horizon_us: int) -> Dict[str, object]:
         """Transport books projected to *horizon_us*: the current totals

@@ -50,6 +50,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import FleetError
 from repro.fleet.jobs import JobResult, JobSpec, default_mp_context
 from repro.fleet.worker import run_job, run_job_batch
+from repro.obs.runtime import OBS
 from repro.util.seeds import derive_seed, seed_stream
 
 __all__ = ["FleetRunner", "SerialRunner", "default_workers",
@@ -236,7 +237,24 @@ class FleetRunner:
         if missing:
             raise FleetError(f"runner lost {len(missing)} job result(s): "
                              f"{missing[:5]}")
-        return [by_index[spec.index] for spec in specs]
+        results = [by_index[spec.index] for spec in specs]
+        if OBS.metrics is not None:
+            # parent-side job lifecycle books (worker processes have
+            # their own OBS state; counts, not wall-clock spans, are
+            # what is deterministic here)
+            metrics = OBS.metrics
+            metrics.counter("fleet.jobs_dispatched").inc(len(specs))
+            metrics.counter("fleet.chunks").inc(len(chunks))
+            metrics.counter("fleet.jobs_stranded").inc(len(stranded))
+            for result in results:
+                if result.failed:
+                    metrics.counter("fleet.jobs_failed",
+                                    error=result.error["type"]).inc()
+                else:
+                    metrics.counter("fleet.jobs_completed").inc()
+                if result.retries:
+                    metrics.counter("fleet.job_retries").inc(result.retries)
+        return results
 
     def _run_stranded(self, spec: JobSpec) -> JobResult:
         """Retry one stranded job in isolation, bounded with backoff."""

@@ -33,6 +33,7 @@ from repro.faults.campaign import (
     run_fault_experiment,
 )
 from repro.fleet.jobs import JobResult, JobSpec, resolve_ref
+from repro.obs.runtime import OBS
 from repro.target.firmware import FirmwareImage
 
 #: per-process pristine-firmware memo: (system_ref, plan key) -> image
@@ -73,9 +74,9 @@ def _sealed_trace_path(spec: JobSpec) -> str:
 def run_job(spec: JobSpec) -> JobResult:
     """Execute one experiment; exceptions become structured failures."""
     try:
-        return _execute(spec)
+        result = _execute(spec)
     except Exception as exc:  # noqa: BLE001 - the whole point is capture
-        return JobResult(
+        result = JobResult(
             spec.index, spec.job_id,
             error={
                 "type": type(exc).__name__,
@@ -85,6 +86,15 @@ def run_job(spec: JobSpec) -> JobResult:
             worker_pid=os.getpid(),
             trace_path=_sealed_trace_path(spec),
         )
+    if OBS.metrics is not None:
+        # in-process telemetry (SerialRunner/BatchRunner, or a worker
+        # that enabled its own OBS state): one job-status series per
+        # fault category
+        status = ("failed" if result.failed
+                  else "declined" if result.declined else "ok")
+        OBS.metrics.counter("fleet.job", category=spec.category,
+                            status=status).inc()
+    return result
 
 
 def _job_trace_store(spec: JobSpec):

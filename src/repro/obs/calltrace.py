@@ -1,0 +1,116 @@
+"""Flame-style calltrace aggregation: pc samples and stored emit sites.
+
+Two aggregation axes, both producing collapsed-stack frames (the
+``flamegraph.pl`` / speedscope text format: ``root;frame;leaf count``
+per line) so standard tooling renders them:
+
+* **pc rollup** — ground truth from the interpreter. ``Cpu.run(
+  pc_profile={})`` counts every retired instruction by address (the
+  per-pc sibling of the PR-7 opcode profile); :func:`pc_rollup` folds
+  those counts through the firmware's task entries and per-instruction
+  source map (``Instr.src_path``) into ``task → model element → pc``
+  frames. This is the "where does target time go" view, weighted by
+  retired instructions.
+* **emit-site rollup** — observational, from stored traces.
+  :func:`store_rollup` aggregates a tracedb store's records by job and
+  command path (the model-element emit site), weighted by occurrence.
+  This is the "what does the host observe" view over a million-event
+  campaign store, streamed segment by segment.
+
+Both are pure functions over plain data: no registry, no global state,
+deterministic output ordering (sorted frames), so rollups diff cleanly
+between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+PRELUDE = "<prelude>"
+
+
+def task_of_pc(firmware, pc: int) -> str:
+    """Which task's code region *pc* falls in.
+
+    Firmware lays task bodies out sequentially; a pc belongs to the
+    task with the greatest entry address <= pc. Code before the first
+    entry (shared prologues) books under ``<prelude>``.
+    """
+    best_task, best_entry = PRELUDE, -1
+    for task, entry in firmware.entries.items():
+        if best_entry < entry <= pc:
+            best_task, best_entry = task, entry
+    return best_task
+
+
+def pc_rollup(firmware, pc_counts: Mapping[int, int]
+              ) -> List[Tuple[Tuple[str, ...], int]]:
+    """Fold per-pc retired-instruction counts into flame frames.
+
+    Returns sorted ``((task, element, "pc:N"), count)`` rows; *element*
+    is the instruction's ``src_path`` (the model element the codegen
+    attributed it to) or ``<anon>`` where codegen left no attribution.
+    """
+    rows: Dict[Tuple[str, ...], int] = {}
+    code = firmware.code
+    for pc in sorted(pc_counts):
+        count = pc_counts[pc]
+        element = None
+        if 0 <= pc < len(code):
+            element = getattr(code[pc], "src_path", None)
+        frame = (task_of_pc(firmware, pc), element or "<anon>", f"pc:{pc}")
+        rows[frame] = rows.get(frame, 0) + count
+    return sorted(rows.items())
+
+
+def profile_activation(cpu, firmware, task: str,
+                       max_instructions: int = 1_000_000
+                       ) -> List[Tuple[Tuple[str, ...], int]]:
+    """Run one activation of *task* under a pc profile and roll it up.
+
+    Convenience wrapper: points the cpu at the task entry, runs it with
+    ``pc_profile`` collection on (the checked loop — measurement, not
+    the fast path), and folds the counts through *firmware*'s source
+    map.
+    """
+    pc_counts: Dict[int, int] = {}
+    cpu.pc = firmware.entry_of(task)
+    cpu.halted = False
+    cpu.run(max_instructions, pc_profile=pc_counts)
+    return pc_rollup(firmware, pc_counts)
+
+
+def store_rollup(store, weight_key: Optional[str] = None
+                 ) -> List[Tuple[Tuple[str, ...], int]]:
+    """Aggregate a tracedb store's records into emit-site flame frames.
+
+    Frames are ``(job, kind, *path components)`` — a merged campaign
+    store fans out per job (``job_id``), a single-session store books
+    everything under ``session``. Weight is 1 per record, or the
+    record's *weight_key* value when given (e.g. ``"demand_us"`` over a
+    kernel spill store weights frames by modeled CPU time).
+    """
+    rows: Dict[Tuple[str, ...], int] = {}
+    for rec in store.events():
+        job = str(rec.get("job_id", "session"))
+        if "actor" in rec:  # kernel JobRecord spill
+            frame = (job, "activation", rec["actor"])
+        else:
+            path = str(rec.get("path", "")) or "<no-path>"
+            frame = (job, str(rec.get("kind", "EVENT")), *path.split("."))
+        weight = 1
+        if weight_key is not None:
+            value = rec.get(weight_key)
+            if isinstance(value, int) and not isinstance(value, bool):
+                weight = value
+        rows[frame] = rows.get(frame, 0) + weight
+    return sorted(rows.items())
+
+
+def flame_lines(rollup: Iterable[Tuple[Tuple[str, ...], int]]) -> List[str]:
+    """Collapsed-stack text: one ``a;b;c count`` line per frame, sorted.
+
+    Feed the joined lines to ``flamegraph.pl`` or paste into
+    https://www.speedscope.app.
+    """
+    return [f"{';'.join(frame)} {count}" for frame, count in sorted(rollup)]

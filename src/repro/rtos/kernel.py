@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.comdes.actor import Actor
 from repro.comdes.system import System
 from repro.errors import SchedulerError
+from repro.obs.runtime import OBS
 from repro.rtos.jitter import JitterMeter
 from repro.rtos.network import SignalBus
 from repro.rtos.scheduler import NodeScheduler
@@ -115,6 +116,15 @@ class DtmKernel:
         self._ring = SpillRing(record_capacity, record_spill)
         self.deadline_misses = 0
         self.jobs_skipped = 0
+        if OBS.metrics is not None:
+            # scheduler health as kernel.* registry series, read once
+            # per snapshot — the release/complete paths stay untouched
+            OBS.metrics.bind_stats(
+                "kernel",
+                lambda: {"deadline_misses": self.deadline_misses,
+                         "jobs_skipped": self.jobs_skipped,
+                         "records_dropped": self.records_dropped},
+                owner=self)
         self._job_index: Dict[str, int] = {
             name: 0 for name, actor in system.actors.items()
             if actor.node in local
@@ -214,6 +224,13 @@ class DtmKernel:
         self._append_record(record)
         if record.missed:
             self.deadline_misses += 1
+        if OBS.spans is not None:
+            # one activation slice per completed job, laned by node —
+            # release/completion are modeled instants from the scheduler
+            OBS.spans.emit(actor.name, release, t_done - release,
+                           track=("node", actor.node), cat="activation",
+                           args={"index": index,
+                                 "missed": bool(record.missed)})
         if self.latched and not record.missed:
             # DTM: publish exactly at the deadline instant.
             self.sim.schedule_at(deadline_abs, self._publish, actor, release,

@@ -67,6 +67,7 @@ from __future__ import annotations
 from typing import List, NamedTuple, Optional, Sequence
 
 from repro.errors import TargetFault
+from repro.obs.runtime import OBS
 from repro.target.cpu import (
     Cpu, DEFAULT_RUN_LIMIT, RunResult, StopReason,
 )
@@ -157,8 +158,15 @@ class BatchCpu:
         self._ncode = len(rows)
         self._nram = nram
         self._depth = first.stack_depth
-        #: lockstep health counters (cumulative across runs)
-        self.stats = {"splits": 0, "merges": 0, "peels": 0}
+        #: lockstep health counters (cumulative across runs); ``resident``
+        #: counts lane-activations served from a cohort kept columnar
+        #: across :meth:`run_jobs` boundaries — the ROADMAP's watch
+        #: metric for the short-activation transposition gap
+        self.stats = {"splits": 0, "merges": 0, "peels": 0, "resident": 0}
+        if OBS.metrics is not None:
+            # the dict above IS the registry series (batch.* counters),
+            # read once per snapshot — nothing on the lockstep hot path
+            OBS.metrics.bind_stats("batch", lambda: self.stats, owner=self)
         # join pcs: branch targets, the only places control flow can meet
         joins = bytearray(self._ncode)
         for op, arg, _ in rows:
@@ -281,9 +289,11 @@ class BatchCpu:
         carry: List[tuple] = []
         columnar: set = set()
         limits = [max_instructions] * nl
+        stats = self.stats
         for _ in range(count):
             outcomes: List[Optional[LaneOutcome]] = [None] * nl
             groups = []
+            stats["resident"] += sum(len(g.lanes) for g, _h in carry)
             for g, _halted in carry:
                 # the columnar reset_task: pc/stack only, RAM stays put
                 g.pc = entry

@@ -297,7 +297,8 @@ class Cpu:
     def run(self, max_instructions: int = DEFAULT_RUN_LIMIT,
             single_step: bool = False,
             break_on_breakpoints: bool = False,
-            profile: Optional[dict] = None) -> RunResult:
+            profile: Optional[dict] = None,
+            pc_profile: Optional[dict] = None) -> RunResult:
         """Execute until HALT, a debug stop, or the instruction budget.
 
         The debug features are priced here, once: only when a write hook,
@@ -310,14 +311,22 @@ class Cpu:
         decoded opcodes (the reference stream, what a fusion pass needs
         to see), never superinstruction ids. Like breakpoints, the hook
         is priced once here: the fast loops carry no counting code.
+
+        ``pc_profile`` counts retired instructions *by address* instead
+        of by opcode — ``pc_profile[pc] += 1`` — which is what
+        flame-style calltrace aggregation needs
+        (:func:`repro.obs.calltrace.pc_rollup` folds it into per-task /
+        per-model-element frames via the firmware source map). Same
+        pricing rule: pass None (the default) and no loop carries it.
         """
         if self.halted:
             return RunResult(StopReason.HALTED, 0, 0)
-        if (single_step or profile is not None
+        if (single_step or profile is not None or pc_profile is not None
                 or self.memory.write_hook is not None
                 or (break_on_breakpoints and self.breakpoints)):
             return self._run_debug(max_instructions, single_step,
-                                   break_on_breakpoints, profile)
+                                   break_on_breakpoints, profile,
+                                   pc_profile)
         # uncontrolled execution invalidates any pending resume-over marker
         self._resume_pc = -1
         # fuse is re-consulted here so toggling it after load() (Board
@@ -986,7 +995,8 @@ class Cpu:
 
     def _run_debug(self, limit: int, single_step: bool,
                    break_on_breakpoints: bool,
-                   profile: Optional[dict] = None) -> RunResult:
+                   profile: Optional[dict] = None,
+                   pc_profile: Optional[dict] = None) -> RunResult:
         """Full-fidelity loop: breakpoints, write hooks, single-stepping,
         opcode-frequency profiling.
 
@@ -1021,6 +1031,8 @@ class Cpu:
             n += 1
             if profile is not None:
                 profile[op] = profile.get(op, 0) + 1
+            if pc_profile is not None:
+                pc_profile[pc] = pc_profile.get(pc, 0) + 1
             try:
                 if op == OP_HALT:
                     self.halted = True

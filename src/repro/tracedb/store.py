@@ -29,6 +29,7 @@ import os
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import TraceStoreError
+from repro.obs.runtime import OBS
 from repro.tracedb.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.tracedb.format import codec_named, read_header
 from repro.tracedb.index import CheckpointInfo, StoreIndex
@@ -85,6 +86,15 @@ class TraceStore:
         self.segment_events = self._index.segment_events
         self._writer: Optional[SegmentWriter] = None
         self._closed = False
+        # I/O books: plain int adds (noise next to the codec/file work
+        # they count), surfaced as tracedb.* registry series via
+        # io_stats() when telemetry is on
+        self.appends = 0
+        self.segments_sealed = 0
+        self.checkpoints_written = 0
+        self.segments_read = 0
+        if OBS.metrics is not None:
+            OBS.metrics.bind_stats("tracedb", self.io_stats, owner=self)
         self._recover_after_crash()
 
     def _recover_after_crash(self) -> None:
@@ -218,6 +228,7 @@ class TraceStore:
             self._writer = SegmentWriter(
                 self.root, f"seg-{expected:012d}.trc", self.codec, expected)
         self._writer.append(record)
+        self.appends += 1
         if self._writer.count >= self.segment_events:
             self._rotate()
         return seq
@@ -229,6 +240,7 @@ class TraceStore:
         # always read the live in-memory index.
         self._index.add_segment(self._writer.close())
         self._writer = None
+        self.segments_sealed += 1
 
     def _flush_bytes(self) -> None:
         """Push buffered segment bytes to the OS (the read-path flush:
@@ -285,6 +297,7 @@ class TraceStore:
         # index row stays in memory until the next flush()/close() —
         # checkpointing sits on the engine's per-command hot path
         self._index.add_checkpoint(CheckpointInfo(seq, t_host, filename))
+        self.checkpoints_written += 1
 
     def checkpoints(self) -> List[CheckpointInfo]:
         """Index rows of every stored checkpoint, oldest first."""
@@ -312,6 +325,7 @@ class TraceStore:
     def read_segment_records(self, info: SegmentInfo) -> List[dict]:
         """Decode one whole segment (bounded by ``segment_events``)."""
         self._flush_bytes()
+        self.segments_read += 1
         return list(read_segment(os.path.join(self.root, info.name)))
 
     def events(self, seq_range: Optional[Tuple[int, int]] = None
@@ -352,6 +366,19 @@ class TraceStore:
         for record in self.events():
             if record.get("kind") == name:
                 yield record
+
+    def io_stats(self) -> Dict[str, int]:
+        """Store I/O books: appends, segment seal/read counts, checkpoints.
+
+        Counted since *this* handle opened (not recovered from disk) —
+        they measure I/O work done, not store contents.
+        """
+        return {
+            "appends": self.appends,
+            "segments_sealed": self.segments_sealed,
+            "checkpoints_written": self.checkpoints_written,
+            "segments_read": self.segments_read,
+        }
 
     def __len__(self) -> int:
         return self.event_count

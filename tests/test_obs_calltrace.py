@@ -1,0 +1,134 @@
+"""The pc-profile hook and flame-style calltrace aggregation.
+
+Grounding: ``Cpu.run(pc_profile={})`` counts every retired instruction
+by address on the checked interpreter loop — the per-pc sibling of the
+opcode ``profile`` hook, with the same contract (measurement path only;
+the fast loop never sees it, and totals agree with the architectural
+instruction counter). ``repro.obs.calltrace`` folds those counts
+through the firmware source map into collapsed-stack flame frames, and
+aggregates tracedb stores by emit site the same way.
+"""
+
+import pytest
+
+from repro.codegen import InstrumentationPlan
+from repro.codegen.pipeline import generate_firmware
+from repro.comdes.examples import traffic_light_system
+from repro.obs.calltrace import (
+    PRELUDE,
+    flame_lines,
+    pc_rollup,
+    profile_activation,
+    store_rollup,
+    task_of_pc,
+)
+from repro.rtos.kernel import DtmKernel
+from repro.target.board import Board
+from repro.target.cpu import Cpu
+from repro.target.memory import MemoryMap
+from repro.tracedb import TraceStore
+from repro.util.timeunits import ms
+
+
+@pytest.fixture(scope="module")
+def firmware():
+    return generate_firmware(traffic_light_system(),
+                             InstrumentationPlan.full())
+
+
+@pytest.fixture()
+def board(firmware):
+    board = Board()
+    board.load_firmware(firmware)
+    return board
+
+
+class TestPcProfile:
+    def test_counts_match_architectural_instruction_counter(self, firmware,
+                                                            board):
+        cpu = board.cpu
+        before = cpu.instructions
+        counts: dict = {}
+        task = next(iter(firmware.entries))
+        cpu.reset_task(firmware.entry_of(task))
+        cpu.run(pc_profile=counts)
+        assert sum(counts.values()) == cpu.instructions - before
+        assert all(0 <= pc < len(firmware.code) for pc in counts)
+
+    def test_profile_and_pc_profile_agree(self, firmware, board):
+        cpu = board.cpu
+        task = next(iter(firmware.entries))
+        opcode_counts: dict = {}
+        pc_counts: dict = {}
+        cpu.reset_task(firmware.entry_of(task))
+        cpu.run(profile=opcode_counts, pc_profile=pc_counts)
+        assert sum(opcode_counts.values()) == sum(pc_counts.values())
+
+    def test_no_profile_no_dict_mutation(self):
+        cpu = Cpu(MemoryMap(8))
+        from repro.target.assembler import Assembler
+        asm = Assembler()
+        asm.emit("PUSH", 1)
+        asm.emit("POP")
+        asm.emit("HALT")
+        cpu.load(asm.assemble())
+        cpu.reset_task(0)
+        cpu.run()  # the default path takes no pc_profile at all
+        assert cpu.halted
+
+
+class TestTaskOfPc:
+    def test_maps_entries_and_prelude(self, firmware):
+        entries = sorted(firmware.entries.items(), key=lambda kv: kv[1])
+        for task, entry in entries:
+            assert task_of_pc(firmware, entry) == task
+        first_entry = entries[0][1]
+        if first_entry > 0:
+            assert task_of_pc(firmware, 0) == PRELUDE
+        # a pc inside the last task's body still books to it
+        assert task_of_pc(firmware, len(firmware.code) - 1) == entries[-1][0]
+
+
+class TestRollups:
+    def test_profile_activation_frames(self, firmware, board):
+        task = next(iter(firmware.entries))
+        rollup = profile_activation(board.cpu, firmware, task)
+        assert rollup
+        assert sum(count for _, count in rollup) > 0
+        for (frame_task, element, pc_label), count in rollup:
+            assert frame_task == task
+            assert pc_label.startswith("pc:")
+            assert count > 0
+        # src_path attribution survives into the middle frame
+        elements = {element for (_, element, _), _ in rollup}
+        assert any(e != "<anon>" for e in elements)
+
+    def test_pc_rollup_is_deterministic_and_sorted(self, firmware):
+        counts = {3: 2, 1: 5, 3 + 0: 1}
+        a = pc_rollup(firmware, counts)
+        b = pc_rollup(firmware, dict(reversed(list(counts.items()))))
+        assert a == b == sorted(a)
+
+    def test_flame_lines_format(self):
+        lines = flame_lines([(("t", "e", "pc:1"), 2),
+                             (("a", "b", "pc:0"), 7)])
+        assert lines == ["a;b;pc:0 7", "t;e;pc:1 2"]
+
+
+class TestStoreRollup:
+    def test_kernel_spill_rollup(self, firmware, tmp_path):
+        store = TraceStore(str(tmp_path / "jobs"), segment_events=16)
+        kernel = DtmKernel(traffic_light_system(), firmware,
+                           record_capacity=8, record_spill=store)
+        kernel.run(ms(500))
+        store.flush()
+        rollup = store_rollup(store)
+        frames = dict(rollup)
+        actors = {frame[2] for frame in frames}
+        assert actors == set(traffic_light_system().actors)
+        assert all(frame[0] == "session" and frame[1] == "activation"
+                   for frame in frames)
+        # weighting by demand_us re-weights, same frames
+        weighted = dict(store_rollup(store, weight_key="demand_us"))
+        assert set(weighted) == set(frames)
+        assert sum(weighted.values()) != sum(frames.values())

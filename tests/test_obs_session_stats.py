@@ -1,0 +1,131 @@
+"""Explicit coverage of DebugSession's merged transport accounting.
+
+``DebugSession.transport_stats()`` is the one surface where the chaos
+layer (faulty-wire absorption), the retry layer (retries/timeouts) and
+the degradation policy (events ladder) meet: its key set is the merged
+contract budget ceilings and dashboards are written against, so this
+file pins it — top-level totals, per-channel breakdown rows,
+``projected_stats`` sharing the same shape, and the degradation-event
+ladder showing up both on the stats surface and (when telemetry is
+on) as ``session.degradation``/``transport.*`` registry series.
+"""
+
+import pytest
+
+from repro.comdes.examples import traffic_light_system
+from repro.comm.chaos import ChaosConfig
+from repro.comm.retry import RetryPolicy
+from repro.engine.session import (
+    DebugSession,
+    DegradationPolicy,
+    TransportBudget,
+)
+from repro.obs import disable, enable
+from repro.util.timeunits import ms
+
+#: the merged cross-layer key set: link counters + retry absorption +
+#: structure + degradation — THE contract of transport_stats()
+TOTAL_KEYS = {
+    "transactions", "words_read", "words_written", "frames_carried",
+    "cost_us_total",              # link accounting
+    "retries", "timeouts",        # retry-layer absorption
+    "links", "channels",          # structure
+    "degradations",               # degradation-policy events
+}
+CHANNEL_ROW_KEYS = (TOTAL_KEYS - {"channels", "degradations"})
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    disable()
+    yield
+    disable()
+
+
+def passive_session(**kw):
+    defaults = dict(
+        chaos=ChaosConfig(seed=7, transient_error=0.15, read_corrupt=0.02),
+        retry=RetryPolicy(max_attempts=5, backoff_us=50, seed=7),
+    )
+    defaults.update(kw)
+    return DebugSession(traffic_light_system(), channel_kind="passive",
+                        poll_period_us=500, **defaults).setup()
+
+
+class TestMergedKeySet:
+    def test_total_key_set_is_the_merged_contract(self):
+        session = passive_session()
+        session.run(ms(20))
+        stats = session.transport_stats()
+        assert set(stats) == TOTAL_KEYS
+        for row in stats["channels"].values():
+            assert set(row) == CHANNEL_ROW_KEYS
+
+    def test_chaos_and_retry_layers_feed_the_same_books(self):
+        session = passive_session()
+        session.run(ms(20))
+        stats = session.transport_stats()
+        assert stats["retries"] > 0  # chaos really injected, retry absorbed
+        assert stats["channels"]["passive"]["retries"] == stats["retries"]
+
+    def test_bare_links_report_zero_not_missing(self):
+        session = passive_session(chaos=None, retry=None)
+        session.run(ms(5))
+        stats = session.transport_stats()
+        assert set(stats) == TOTAL_KEYS  # keys present even with no layer
+        assert stats["retries"] == 0 and stats["timeouts"] == 0
+        assert stats["degradations"] == 0
+
+    def test_projected_stats_same_shape_and_monotone(self):
+        session = passive_session(chaos=None, retry=None)
+        session.run(ms(5))
+        now = session.transport_stats()
+        projected = session.projected_stats(ms(20))
+        assert set(projected) == TOTAL_KEYS
+        assert projected["transactions"] > now["transactions"]
+        assert projected["cost_us_total"] >= now["cost_us_total"]
+        assert set(projected["channels"]) == set(now["channels"])
+
+
+class TestDegradationInSnapshots:
+    def degraded_session(self):
+        return passive_session(
+            chaos=None, retry=None,
+            budget=TransportBudget(max_transactions=3),
+            degradation=DegradationPolicy(max_slowdown=2, max_stride=2))
+
+    def test_ladder_counted_in_transport_stats(self):
+        session = self.degraded_session()
+        session.run(ms(20))
+        actions = [e["action"] for e in session.degradation_events]
+        assert actions[0] == "slow_poll"
+        assert "split_plan" in actions and "shed_watch" in actions
+        assert (session.transport_stats()["degradations"]
+                == len(session.degradation_events))
+
+    def test_ladder_appears_in_registry_snapshot(self):
+        reg, _ = enable()
+        session = self.degraded_session()
+        session.run(ms(20))
+        snap = reg.snapshot()
+        per_action = {dict(key)["action"]: value
+                      for key, value in snap.series("session.degradation")}
+        want = {}
+        for event in session.degradation_events:
+            want[str(event["action"])] = want.get(str(event["action"]), 0) + 1
+        assert per_action == want
+        # and the canonical transport totals ride along as transport.*
+        assert (snap.counter_total("transport.transactions")
+                == session.transport_stats()["transactions"])
+        assert (snap.counter_total("transport.degradations")
+                == len(session.degradation_events))
+
+    def test_transport_series_tracks_stats_surface(self):
+        reg, _ = enable()
+        session = passive_session()
+        session.run(ms(20))
+        snap = reg.snapshot()
+        stats = session.transport_stats()
+        for key in ("transactions", "words_read", "retries", "timeouts",
+                    "cost_us_total"):
+            assert snap.counter_total(f"transport.{key}") == stats[key], key
