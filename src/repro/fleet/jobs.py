@@ -189,6 +189,18 @@ class JobResult:
         """Whether this job died instead of producing a verdict."""
         return self.error is not None
 
+    @property
+    def status(self) -> str:
+        """Canonical one-word outcome: ``failed``/``declined``/``ok``.
+
+        The shared vocabulary of the ``fleet.job`` metric series and
+        the live plane's finish heartbeats, derived in one place so the
+        two surfaces can never disagree.
+        """
+        if self.failed:
+            return "failed"
+        return "declined" if self.declined else "ok"
+
     def __repr__(self) -> str:
         if self.failed:
             status = f"FAILED({self.error['type']})"

@@ -67,11 +67,25 @@ def _chunk(specs: Sequence[JobSpec], chunk_size: int) -> List[List[JobSpec]]:
             for i in range(0, len(specs), chunk_size)]
 
 
-def _worker_init(extra_paths: List[str]) -> None:
-    """Spawned workers must see the same import roots as the parent."""
+def _worker_init(extra_paths: List[str], hb_config=None,
+                 hb_queue=None) -> None:
+    """Spawned workers must see the same import roots as the parent.
+
+    With a heartbeat config + queue (the live-telemetry plane), the
+    worker also enables an in-process metrics registry and installs a
+    :class:`~repro.obs.live.HeartbeatEmitter` in ``OBS.live`` whose
+    sink is the parent's queue — every job this process runs then
+    streams windowed registry deltas upward.
+    """
     for path in reversed(extra_paths):
         if path not in sys.path:
             sys.path.insert(0, path)
+    if hb_config is not None and hb_queue is not None:
+        from repro.obs.live import HeartbeatEmitter
+        from repro.obs.metrics import MetricsRegistry
+        if OBS.metrics is None:
+            OBS.metrics = MetricsRegistry()
+        OBS.live = HeartbeatEmitter(hb_config, hb_queue.put)
 
 
 def _crash_result(spec: JobSpec, retries: int = 0) -> JobResult:
@@ -102,9 +116,10 @@ def _timeout_result(spec: JobSpec, retries: int, timeout_s: float) -> JobResult:
     )
 
 
-def _isolated_entry(conn, spec: JobSpec, extra_paths: List[str]) -> None:
+def _isolated_entry(conn, spec: JobSpec, extra_paths: List[str],
+                    hb_config=None, hb_queue=None) -> None:
     """Entry point of an isolated single-job retry process."""
-    _worker_init(extra_paths)
+    _worker_init(extra_paths, hb_config, hb_queue)
     try:
         conn.send(run_job(spec))
     finally:
@@ -116,16 +131,43 @@ class SerialRunner:
 
     Runs every job through the same :func:`~repro.fleet.worker.run_job`
     the pool workers use — it *is* the parity baseline the parallel
-    runner is measured against.
+    runner is measured against. With ``live=`` (a
+    :class:`~repro.obs.live.LiveAggregator`) it installs an in-process
+    :class:`~repro.obs.live.HeartbeatEmitter` whose sink is the
+    aggregator's ``feed`` directly — same delta protocol, zero queues —
+    which is exactly how the serial-vs-fleet transcript identity is
+    provable: both paths aggregate the same canonical messages.
     """
 
     workers = 1
 
+    def __init__(self, live=None) -> None:
+        #: optional repro.obs.live.LiveAggregator receiving heartbeats
+        self.live = live
+
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
-        return [run_job(spec) for spec in specs]
+        if self.live is None:
+            return [run_job(spec) for spec in specs]
+        from repro.obs.live import HeartbeatEmitter
+        from repro.obs.metrics import MetricsRegistry
+        prior_live = OBS.live
+        own_registry = OBS.metrics is None
+        if own_registry:
+            OBS.metrics = MetricsRegistry()
+        emitter = HeartbeatEmitter(self.live.config, self.live.feed,
+                                   source="serial")
+        OBS.live = emitter
+        try:
+            return [run_job(spec) for spec in specs]
+        finally:
+            emitter.close()
+            OBS.live = prior_live
+            if own_registry:
+                OBS.metrics = None
 
     def __repr__(self) -> str:
-        return "<SerialRunner>"
+        live = " live" if self.live is not None else ""
+        return f"<SerialRunner{live}>"
 
 
 class FleetRunner:
@@ -136,7 +178,8 @@ class FleetRunner:
                  mp_context: Optional[str] = None,
                  max_retries: int = 1,
                  retry_backoff_s: float = 0.0,
-                 job_timeout_s: Optional[float] = None) -> None:
+                 job_timeout_s: Optional[float] = None,
+                 live=None) -> None:
         if workers is not None and workers < 1:
             raise FleetError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
@@ -161,6 +204,11 @@ class FleetRunner:
         #: kill an isolated job after this many wall-clock seconds; also
         #: bounds the pool pass at timeout * len(specs) total
         self.job_timeout_s = job_timeout_s
+        #: optional repro.obs.live.LiveAggregator: workers stream
+        #: heartbeat deltas to it over a managed queue piggybacked on
+        #: the pool's init plumbing (None = live plane off, zero cost)
+        self.live = live
+        self._hb_queue = None  # managed queue, alive only inside run()
 
     def _chunk_size_for(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -170,11 +218,12 @@ class FleetRunner:
         return max(1, -(-total // (self.workers * 4)))
 
     def _executor(self, workers: int) -> ProcessPoolExecutor:
+        hb_config = self.live.config if self.live is not None else None
         return ProcessPoolExecutor(
             max_workers=workers,
             mp_context=multiprocessing.get_context(self.mp_context),
             initializer=_worker_init,
-            initargs=(list(sys.path),),
+            initargs=(list(sys.path), hb_config, self._hb_queue),
         )
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
@@ -182,6 +231,24 @@ class FleetRunner:
         specs = list(specs)
         if not specs:
             return []
+        manager = None
+        if self.live is not None:
+            # A managed queue, not a raw mp.Queue: the proxy pickles
+            # through initargs under fork *and* spawn, and `put` is a
+            # synchronous round-trip to the manager process, so a
+            # worker's last heartbeat is never lost in a feeder thread
+            # when its process exits.
+            manager = multiprocessing.get_context(self.mp_context).Manager()
+            self._hb_queue = manager.Queue()
+        try:
+            return self._run(specs)
+        finally:
+            if self.live is not None:
+                self.live.drain(self._hb_queue)
+                self._hb_queue = None
+                manager.shutdown()
+
+    def _run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         by_index: dict = {}
         stranded: List[JobSpec] = []
 
@@ -195,6 +262,11 @@ class FleetRunner:
                 try:
                     for future in as_completed(futures,
                                                timeout=pass_timeout):
+                        if self.live is not None:
+                            # stream whatever the workers buffered so
+                            # far: dashboards update mid-campaign, not
+                            # at the end
+                            self.live.drain(self._hb_queue)
                         try:
                             batch = future.result()
                         except BrokenExecutor:
@@ -281,8 +353,10 @@ class FleetRunner:
         """
         ctx = multiprocessing.get_context(self.mp_context)
         parent, child = ctx.Pipe(duplex=False)
+        hb_config = self.live.config if self.live is not None else None
         proc = ctx.Process(target=_isolated_entry,
-                           args=(child, spec, list(sys.path)))
+                           args=(child, spec, list(sys.path),
+                                 hb_config, self._hb_queue))
         proc.start()
         child.close()
         try:

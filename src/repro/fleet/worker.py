@@ -73,6 +73,9 @@ def _sealed_trace_path(spec: JobSpec) -> str:
 
 def run_job(spec: JobSpec) -> JobResult:
     """Execute one experiment; exceptions become structured failures."""
+    live = OBS.live
+    if live is not None:
+        live.job_start(spec.index, spec.job_id)
     try:
         result = _execute(spec)
     except Exception as exc:  # noqa: BLE001 - the whole point is capture
@@ -90,10 +93,13 @@ def run_job(spec: JobSpec) -> JobResult:
         # in-process telemetry (SerialRunner/BatchRunner, or a worker
         # that enabled its own OBS state): one job-status series per
         # fault category
-        status = ("failed" if result.failed
-                  else "declined" if result.declined else "ok")
         OBS.metrics.counter("fleet.job", category=spec.category,
-                            status=status).inc()
+                            status=result.status).inc()
+    if live is not None:
+        # after the metrics counter so the finish delta carries it
+        live.job_finish(spec.index, spec.job_id, result.status,
+                        error_type=(result.error["type"]
+                                    if result.failed else ""))
     return result
 
 

@@ -42,6 +42,23 @@ def _canon_args(args: Optional[Dict[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
     return tuple(sorted(args.items()))
 
 
+def span_order(span: Span) -> tuple:
+    """Total-order sort key: modeled time first, then every field.
+
+    Plain tuple comparison on :class:`Span` is *not* a total order —
+    two spans tying on ``(track, name, cat, ts, dur)`` compare their
+    ``args`` values, which may be mixed-type (``None`` vs int vs str)
+    and raise ``TypeError`` mid-sort, and which key on ``track`` before
+    time so merged timelines interleave lanes. This key starts at
+    ``ts_us`` (a trace reads in time order) and breaks every tie
+    through the full field tuple with args values rendered via
+    ``repr``, so sorting is defined for every span pair and merged
+    lists are byte-stable regardless of arrival order.
+    """
+    return (span.ts_us, span.dur_us, span.track, span.name, span.cat,
+            tuple((k, repr(v)) for k, v in span.args))
+
+
 class SpanTracer:
     """Collects :class:`Span`s; emission is append-only and allocation-light.
 
@@ -68,23 +85,29 @@ class SpanTracer:
                                _canon_args(args)))
 
     def snapshot(self) -> List[Span]:
-        """Canonical picklable form: spans in field-order sort
-        (track, name, cat, ts, ...).
+        """Canonical picklable form: spans under the :func:`span_order`
+        total order (modeled time, then the full field tuple).
 
         The sort makes merged multi-source traces deterministic even
         when emit interleaving differs (e.g. spans shipped from
         workers in completion order).
         """
-        return sorted(self.spans)
+        return sorted(self.spans, key=span_order)
 
     def clear(self) -> None:
         self.spans.clear()
 
 
 def merge_spans(parts: Iterable[Iterable[Span]]) -> List[Span]:
-    """Merge span snapshots from many sources into one canonical list."""
+    """Merge span snapshots from many sources into one canonical list.
+
+    Sorted under :func:`span_order` — a genuine total order — so the
+    merged list is byte-stable no matter which worker's spans arrive
+    first (concurrently-heartbeating workers deliver in wall-clock
+    completion order, which must never show in the output).
+    """
     merged: List[Span] = []
     for part in parts:
         merged.extend(Span(*s) for s in part)
-    merged.sort()
+    merged.sort(key=span_order)
     return merged

@@ -100,12 +100,24 @@ class TestGarbageRecovery:
         stream = encode_frame(*command)[:cut]
         for later in tail:
             stream += encode_frame(*later)
-        decoded = decode_whole(stream)[0]
-        # the truncated head is lost (possibly taking the first tail
-        # frame with it if a stale 10-byte window straddles both), but
-        # the stream must realign: the last frame always decodes
-        assert decoded and decoded[-1] == tail[-1]
-        assert decoded == tail or decoded == tail[1:] or len(decoded) >= 1
+        decoder = FrameDecoder()
+        decoded = decoder.feed(stream)
+        # the truncated head is lost, and a stale 10-byte window
+        # straddling it can swallow the first tail frame — or even
+        # decode as a bogus frame when the straddled bytes happen to
+        # checksum (command=(0,0,0), cut=4, tail=[(0,0,-116)] collides
+        # exactly like that: 07+7E+07 == 0x8C), so no mid-stream frame
+        # is guaranteed. What IS guaranteed: the line is never jammed,
+        # and the decoder cannot invent frames beyond the byte budget
+        assert decoded
+        assert len(decoded) <= len(tail)
+        # ...and the stream realigns: once a SOF-free gap at least one
+        # frame long has flushed every stale window, the next intact
+        # frame always decodes
+        sentinel = (9, 9, 9)
+        quiet = bytes([0x00] * FRAME_LEN)
+        assert decoder.feed(quiet + encode_frame(*sentinel))[-1:] == \
+            [sentinel]
 
     @given(stream=arbitrary_stream, frames=st.lists(commands, min_size=1,
                                                     max_size=3))

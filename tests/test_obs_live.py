@@ -1,0 +1,417 @@
+"""The live telemetry plane: heartbeats, windows, watchdogs, recorder.
+
+Covers the streaming contract of ``repro.obs.live`` + ``repro.obs.health``:
+
+* the emitter's delta protocol (modeled-time window bucketing, monotone
+  clamp across phase restarts, re-baseline at job start, empty-delta
+  skip, residual flush at finish, liveness beacons);
+* the aggregator (canonical window history, running merge, retried-job
+  restart, queue drain, worker-stall detection, idempotent close);
+* the rule engine (glob matching, thresholds, debounce, severity
+  validation, canonical alert order, transcript rendering);
+* the flight recorder (bounded ring, canonical serialization,
+  post-mortem trajectory section, Perfetto counter-track export);
+* and the acceptance criterion: the committed
+  ``artifacts/obs_live_alerts.txt`` exemplar regenerates byte-for-byte
+  from a fixed-seed campaign, with serial and fleet runs producing the
+  identical transcript.
+"""
+
+import json
+import queue as queue_mod
+
+import pytest
+
+from repro.comdes.examples import traffic_light_system
+from repro.engine.session import DebugSession
+from repro.experiments import (
+    traffic_light_code_watches,
+    traffic_light_monitor_suite,
+)
+from repro.experiments.harness import save_artifact
+from repro.faults import run_campaign
+from repro.fleet import FleetRunner, SerialRunner
+from repro.fleet.jobs import JobResult
+from repro.obs import OBS, disable, enable
+from repro.obs import health
+from repro.obs.export import chrome_trace, main as export_main, render_bytes
+from repro.obs.live import (
+    FlightRecorder,
+    HeartbeatConfig,
+    HeartbeatEmitter,
+    LiveAggregator,
+    Window,
+    main as live_main,
+    render_dashboard,
+)
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.postmortem import campaign_postmortem, job_postmortem
+from repro.util.timeunits import ms, sec
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    disable()
+    yield
+    disable()
+
+
+def snap_of(**counters) -> MetricsSnapshot:
+    snap = MetricsSnapshot()
+    for name, value in counters.items():
+        snap.counters[name.replace("__", ".")] = {(): value}
+    return snap
+
+
+def window_of(job_index, index, period=100, job_id="j", **counters):
+    return Window(job_index, job_id, index, index * period,
+                  (index + 1) * period, snap_of(**counters))
+
+
+CAMPAIGN_KW = dict(design_kinds=("wrong_target",),
+                   impl_kinds=("inverted_branch",),
+                   comm_kinds=("frame_loss", "frame_corrupt"),
+                   seeds=(1,), duration_us=sec(1))
+
+
+def live_campaign(runner_factory, **overrides):
+    """One heartbeat campaign; returns (aggregator, campaign result)."""
+    disable()
+    agg = LiveAggregator(HeartbeatConfig(period_us=250_000))
+    kw = dict(CAMPAIGN_KW)
+    kw.update(overrides)
+    result = run_campaign(
+        traffic_light_system, traffic_light_monitor_suite,
+        traffic_light_code_watches, runner=runner_factory(agg), **kw)
+    return agg, result
+
+
+class TestHeartbeatConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(period_us=0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(every_jobs=0)
+
+
+class TestHeartbeatEmitter:
+    def setup_method(self):
+        self.sink = []
+        self.config = HeartbeatConfig(period_us=100, every_jobs=1)
+        self.emitter = HeartbeatEmitter(self.config, self.sink.append,
+                                        source="w")
+
+    def kinds(self):
+        return [msg[0] for msg in self.sink]
+
+    def test_windows_bucket_by_modeled_time(self):
+        reg, _ = enable(spans=False)
+        self.emitter.job_start(0, "control")
+        reg.counter("x").inc(3)
+        self.emitter.tick(150)        # crossed window 0
+        reg.counter("x").inc(2)
+        self.emitter.job_finish(0, "control", "ok")
+        windows = [m for m in self.sink if m[0] == "window"]
+        finish = [m for m in self.sink if m[0] == "finish"][0]
+        assert [(m[4], m[6].counter_total("x")) for m in windows] == [(0, 3)]
+        assert finish[4] == 1 and finish[8].counter_total("x") == 2
+        assert self.kinds() == ["start", "window", "finish", "beacon"]
+
+    def test_monotone_clamp_across_phase_restart(self):
+        # campaign experiments run two fresh simulators per job; the
+        # second phase's t=0 must not rewind the emitter's clock
+        reg, _ = enable(spans=False)
+        self.emitter.job_start(0, "j")
+        reg.counter("x").inc()
+        self.emitter.tick(450)
+        reg.counter("x").inc()
+        self.emitter.tick(10)     # phase restart: clamps, never rewinds
+        self.emitter.tick(460)
+        self.emitter.job_finish(0, "j", "ok")
+        finish = [m for m in self.sink if m[0] == "finish"][0]
+        assert finish[4] == 4     # residual lands at 450//100, not 10//100
+        windows = [m[4] for m in self.sink if m[0] == "window"]
+        assert windows == [3]     # one flush when t crossed 400
+
+    def test_empty_deltas_are_skipped(self):
+        enable(spans=False)
+        self.emitter.job_start(0, "j")
+        self.emitter.tick(150)
+        self.emitter.tick(350)    # nothing changed: no window messages
+        self.emitter.job_finish(0, "j", "ok")
+        assert [m[0] for m in self.sink if m[0] == "window"] == []
+        assert [m for m in self.sink if m[0] == "finish"][0][8] is None
+
+    def test_job_start_rebaselines(self):
+        # changes between jobs belong to nobody and must not leak into
+        # the next job's first window
+        reg, _ = enable(spans=False)
+        reg.counter("x").inc(99)
+        self.emitter.job_start(0, "j")
+        reg.counter("x").inc(1)
+        self.emitter.job_finish(0, "j", "ok")
+        finish = [m for m in self.sink if m[0] == "finish"][0]
+        assert finish[8].counter_total("x") == 1
+
+    def test_ambient_lane_opens_on_tick(self):
+        reg, _ = enable(spans=False)
+        reg.counter("x").inc()
+        self.emitter.tick(150)
+        assert self.sink[0][:4] == ("start", "w", -1, "ambient")
+        self.emitter.close()
+        assert self.kinds()[-2] == "finish"   # close flushes the lane
+
+    def test_beacon_cadence(self):
+        enable(spans=False)
+        emitter = HeartbeatEmitter(HeartbeatConfig(period_us=100,
+                                                   every_jobs=2),
+                                   self.sink.append, source="w")
+        for index in range(4):
+            emitter.job_start(index, f"j{index}")
+            emitter.job_finish(index, f"j{index}", "ok")
+        beacons = [m for m in self.sink if m[0] == "beacon"]
+        assert [m[2] for m in beacons] == [2, 4]
+
+
+class TestLiveAggregator:
+    def test_window_merge_and_current(self):
+        agg = LiveAggregator(HeartbeatConfig(period_us=100))
+        agg.feed(("start", "w", 0, "j"))
+        agg.feed(("window", "w", 0, "j", 0, 90, snap_of(x=3)))
+        agg.feed(("finish", "w", 0, "j", 0, 99, "ok", "", snap_of(x=2)))
+        history = agg.history()
+        assert len(history) == 1
+        assert history[0].counter_total("x") == 5
+        assert agg.current().counter_total("x") == 5
+        assert agg.lanes()[0]["status"] == "ok"
+
+    def test_retried_job_restarts_clean(self):
+        # a worker died mid-job; the isolated retry re-runs from
+        # scratch and its stream must not double-count the first try
+        agg = LiveAggregator(HeartbeatConfig(period_us=100))
+        agg.feed(("start", "w1", 0, "j"))
+        agg.feed(("window", "w1", 0, "j", 0, 90, snap_of(x=3)))
+        agg.feed(("start", "w2", 0, "j"))           # the retry
+        agg.feed(("window", "w2", 0, "j", 0, 90, snap_of(x=3)))
+        agg.feed(("finish", "w2", 0, "j", 1, 150, "ok", "", None))
+        assert agg.current().counter_total("x") == 3
+        assert [w.counter_total("x") for w in agg.history()] == [3]
+
+    def test_drain_over_queue(self):
+        agg = LiveAggregator(HeartbeatConfig(period_us=100))
+        q = queue_mod.Queue()
+        q.put(("start", "w", 0, "j"))
+        q.put(("window", "w", 0, "j", 0, 90, snap_of(x=1)))
+        assert agg.drain(q) == 2
+        assert agg.drain(q) == 0
+        assert agg.current().counter_total("x") == 1
+
+    def test_stall_detection(self):
+        agg = LiveAggregator(HeartbeatConfig(period_us=100),
+                             stall_budget=3)
+        agg.feed(("start", "w1", 1, "stuck"))
+        for index in range(2, 6):
+            agg.feed(("start", "w2", index, f"j{index}"))
+            agg.feed(("finish", "w2", index, f"j{index}", 0, 10, "ok",
+                      "", None))
+        alerts = agg.evaluate()
+        stalls = [a for a in alerts if a.rule == "worker-stall"]
+        assert len(stalls) == 1
+        assert stalls[0].job_index == 1 and stalls[0].severity == "error"
+        assert "budget 3" in stalls[0].detail
+        # a late finish clears it
+        agg.feed(("finish", "w1", 1, "stuck", 5, 510, "ok", "", None))
+        assert not [a for a in agg.evaluate()
+                    if a.rule == "worker-stall"]
+
+    def test_close_is_idempotent_and_final(self):
+        agg = LiveAggregator(HeartbeatConfig(period_us=100))
+        agg.feed(("start", "w", 0, "j"))
+        agg.feed(("finish", "w", 0, "j", 0, 10, "ok", "", None))
+        first = agg.close()
+        assert first == agg.close()
+        assert agg.recorder.alerts == agg.evaluate()
+        with pytest.raises(RuntimeError):
+            agg.feed(("beacon", "w", 1))
+
+    def test_unknown_message_kind_rejected(self):
+        agg = LiveAggregator()
+        with pytest.raises(ValueError):
+            agg.feed(("gossip", "w"))
+
+
+class TestHealthRules:
+    def test_threshold_and_glob(self):
+        rule = health.Rule("r", "retry.*", health.threshold(5))
+        hits = rule.matches(window_of(0, 0, retry__outcome=5))
+        assert hits == [("retry.outcome", 5)]
+        assert not rule.matches(window_of(0, 0, retry__outcome=4))
+        assert not rule.matches(window_of(0, 0, chaos__fault=99))
+
+    def test_debounce_per_job(self):
+        rule = health.Rule("r", "x", health.threshold(1), debounce=3)
+        windows = [window_of(0, i, x=1) for i in range(6)]
+        windows += [window_of(1, 0, x=1)]   # other job: own debounce
+        alerts = health.evaluate(windows, rules=(rule,))
+        assert [(a.job_index, a.window_index) for a in alerts] == [
+            (0, 0), (0, 3), (1, 0)]
+
+    def test_severity_and_debounce_validation(self):
+        with pytest.raises(ValueError):
+            health.Rule("r", "x", health.threshold(1), severity="fatal")
+        with pytest.raises(ValueError):
+            health.Rule("r", "x", health.threshold(1), debounce=0)
+
+    def test_alert_order_is_canonical(self):
+        windows = [window_of(1, 0, kernel__deadline_misses=2),
+                   window_of(0, 1, chaos__fault=9)]
+        alerts = health.evaluate(sorted(windows,
+                                        key=lambda w: w.job_index))
+        assert [a.job_index for a in alerts] == [0, 1]
+        # feeding the same canonical window order always reproduces
+        again = health.evaluate(sorted(windows,
+                                       key=lambda w: w.job_index))
+        assert [a.order() for a in alerts] == [a.order() for a in again]
+
+    def test_alert_roundtrip_and_line(self):
+        alert = health.Alert(2, "comm/frame_loss/1", 3, 300, 400,
+                             "comm-fault-storm", "warn", "chaos.fault",
+                             7, detail="d")
+        assert health.Alert.from_dict(alert.to_dict()).order() == \
+            alert.order()
+        line = alert.line()
+        assert "job #2" in line and "chaos.fault=7" in line
+
+    def test_transcript_renders_empty_and_full(self):
+        empty = health.render_transcript([], windows=3, jobs=2)
+        assert "0 alert(s)" in empty and "no alerts" in empty
+        alert = health.Alert(0, "j", 0, 0, 100, "r", "warn", "x", 1)
+        full = health.render_transcript([alert], windows=1, jobs=1)
+        assert alert.line() in full
+
+
+class TestFlightRecorder:
+    def test_ring_dedupes_and_evicts(self):
+        recorder = FlightRecorder(capacity=2)
+        recorder.push(window_of(0, 0, x=1))
+        recorder.push(window_of(0, 0, x=5))   # same key: replace
+        recorder.push(window_of(0, 1, x=2))
+        recorder.push(window_of(1, 0, x=3))   # evicts (0, 0)
+        assert [(w.job_index, w.index) for w in recorder.history()] == [
+            (0, 1), (1, 0)]
+        assert recorder.for_job(1)[0].counter_total("x") == 3
+
+    def test_canonical_serialization_roundtrip(self):
+        recorder = FlightRecorder(capacity=8, period_us=100)
+        recorder.push(window_of(1, 0, x=2))
+        recorder.push(window_of(0, 2, y=4))
+        recorder.alerts = [health.Alert(0, "j", 2, 200, 300, "r",
+                                        "warn", "y", 4)]
+        clone = FlightRecorder.from_dict(
+            json.loads(recorder.to_bytes().decode("ascii")))
+        assert clone.to_bytes() == recorder.to_bytes()
+        assert [a.order() for a in clone.alerts] == \
+            [a.order() for a in recorder.alerts]
+
+    def test_save_load(self, tmp_path):
+        recorder = FlightRecorder(period_us=100)
+        recorder.push(window_of(0, 0, x=1))
+        path = str(tmp_path / "flight.json")
+        recorder.save(path)
+        assert FlightRecorder.load(path).to_bytes() == recorder.to_bytes()
+
+
+class TestSessionAmbientLane:
+    def test_session_streams_without_fleet_plumbing(self):
+        reg, _ = enable(spans=False)
+        agg = LiveAggregator(HeartbeatConfig(period_us=ms(5)))
+        OBS.live = HeartbeatEmitter(agg.config, agg.feed, source="s")
+        session = DebugSession(traffic_light_system(),
+                               channel_kind="passive",
+                               poll_period_us=500).setup()
+        session.run(ms(20))
+        OBS.live.close()
+        lanes = agg.lanes()
+        assert lanes and lanes[0]["job_index"] == -1
+        assert lanes[0]["job_id"] == "ambient"
+        assert agg.history()
+        assert agg.current().counter_total("link.transactions") > 0
+
+
+class TestCampaignLive:
+    """The acceptance criterion: deterministic serial == fleet alerts."""
+
+    def test_serial_fleet_transcripts_identical_and_exemplar(self):
+        serial_agg, serial_result = live_campaign(
+            lambda agg: SerialRunner(live=agg))
+        serial_transcript = serial_agg.close()
+        fleet_agg, fleet_result = live_campaign(
+            lambda agg: FleetRunner(workers=2, live=agg))
+        fleet_transcript = fleet_agg.close()
+
+        assert serial_transcript == fleet_transcript
+        serial_windows = [(w.job_index, w.index, w.delta.to_dict())
+                          for w in serial_agg.history()]
+        fleet_windows = [(w.job_index, w.index, w.delta.to_dict())
+                         for w in fleet_agg.history()]
+        assert serial_windows == fleet_windows
+        assert serial_result.summary_rows() == fleet_result.summary_rows()
+
+        # the campaign corpus includes chaos kinds, so the transcript
+        # has a real beat — an all-quiet exemplar would prove nothing
+        assert "comm-fault-storm" in serial_transcript
+        save_artifact("obs_live_alerts.txt", serial_transcript)
+
+    def test_dashboard_and_recorder_replay(self, tmp_path):
+        agg, _ = live_campaign(lambda a: SerialRunner(live=a))
+        agg.close()
+        live_text = render_dashboard(agg)
+        assert "LIVE TELEMETRY" in live_text
+        assert "comm/frame_loss/1" in live_text
+        assert "comm-fault-storm" in live_text
+
+        path = str(tmp_path / "flight.json")
+        agg.recorder.save(path)
+        replay = FlightRecorder.load(path)
+        assert render_dashboard(replay).count("comm-fault-storm") == \
+            live_text.count("comm-fault-storm")
+        assert live_main(["--recorder", path]) == 0
+
+    def test_postmortem_trajectory_section(self):
+        agg, _ = live_campaign(lambda a: SerialRunner(live=a))
+        agg.close()
+        failed = JobResult(
+            3, "comm/frame_loss/1",
+            error={"type": "TargetFault",
+                   "message": "target fault at pc=42: stack underflow",
+                   "traceback": ""})
+        text = campaign_postmortem([failed], total_jobs=5,
+                                   recorder=agg.recorder)
+        assert "flight recorder (trajectory into death):" in text
+        assert "link.transactions +" in text  # top-3 deltas per window
+        # a job the recorder never saw reports that, not nothing
+        other = job_postmortem(
+            JobResult(7, "x", error={"type": "E", "message": "m",
+                                     "traceback": ""}),
+            recorder=agg.recorder)
+        assert "holds no windows" in other
+
+    def test_export_flight_recorder_counter_tracks(self, tmp_path):
+        agg, _ = live_campaign(lambda a: SerialRunner(live=a))
+        agg.close()
+        path = str(tmp_path / "flight.json")
+        agg.recorder.save(path)
+        out = str(tmp_path / "trace.json")
+        assert export_main(["--flight-recorder", path, "-o", out]) == 0
+        doc = json.loads(open(out, "rb").read().decode("ascii"))
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters and all(e["pid"] >= 2000 for e in counters)
+        assert any(e["name"] == "chaos.fault" for e in counters)
+        # deterministic bytes: rendering twice is byte-identical
+        again = render_bytes(chrome_trace(
+            recorder=FlightRecorder.load(path)))
+        assert open(out, "rb").read() == again
+
+    def test_export_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            export_main([])

@@ -32,6 +32,7 @@ from repro.obs import (
     merge_snapshots,
     merge_spans,
     observed,
+    span_order,
 )
 from repro.target.board import Board
 from repro.target.memory import RAM_BASE
@@ -194,10 +195,11 @@ class TestSpans:
         tr.emit("b", ts_us=10, dur_us=5, track=("node", "n1"))
         tr.emit("a", ts_us=20, track=("node", "n0"), args={"z": 1, "a": 2})
         spans = tr.snapshot()
-        assert spans == sorted(spans)
-        assert spans[0].track == ("node", "n0")
+        assert spans == sorted(spans, key=span_order)
+        # the total order reads in modeled-time order, lanes interleaved
+        assert spans[0].ts_us == 10 and spans[0].track == ("node", "n1")
         # args dicts are canonicalized to sorted tuples
-        assert spans[0].args == (("a", 2), ("z", 1))
+        assert spans[1].args == (("a", 2), ("z", 1))
 
     def test_merge_spans_deterministic(self):
         t1, t2 = SpanTracer(), SpanTracer()
@@ -206,6 +208,19 @@ class TestSpans:
         merged = merge_spans([t1.snapshot(), t2.snapshot()])
         assert merged == merge_spans([t2.snapshot(), t1.snapshot()])
         assert all(isinstance(s, Span) for s in merged)
+
+    def test_merge_spans_total_order_on_mixed_arg_types(self):
+        # ties through (ts, dur, track, name, cat) used to fall into
+        # comparing args values, which TypeErrors on mixed types; the
+        # span_order key must survive any args payload and stay
+        # byte-stable regardless of arrival order
+        a = Span(("n", "t"), "x", "", 5, 1, (("k", None),))
+        b = Span(("n", "t"), "x", "", 5, 1, (("k", 3),))
+        c = Span(("n", "t"), "x", "", 5, 1, (("k", "3"),))
+        one = merge_spans([[a, b], [c]])
+        two = merge_spans([[c], [b, a]])
+        assert one == two
+        assert [s.ts_us for s in one] == [5, 5, 5]
 
     def test_spans_picklable(self):
         tr = SpanTracer()
