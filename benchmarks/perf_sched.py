@@ -1,0 +1,243 @@
+"""Elastic scheduler scoreboard: steal speedup, parity, stranded recovery.
+
+Three numbers, one per scheduler property the fleet refactor claims:
+
+* **steal_speedup_skew** — makespan of a *skewed* synthetic corpus
+  (a few heavy jobs clustered at the head, a tail of light ones) under
+  static pinned chunking vs the elastic schedule (cost-hint LPT
+  placement + queue stealing + preemptive partial-batch yields). Jobs
+  are ``time.sleep`` units executed by real worker processes, so the
+  makespan is decided by *scheduling*, not by host core count — the
+  ratio is machine-independent and CI floors it. Static contiguous
+  thirds of ``[10,10,10,10] + [1]*12`` serialize 42 sleep units on one
+  worker; the elastic schedule lands near the 20-unit critical path. A
+  third *hint-blind* arm withholds the cost hints (uniform unit
+  weights), so the heavies land wherever and run-time queue stealing —
+  not placement — reaches the same optimum (``steal_speedup_blind``).
+* **sched_parity_identical** — a real mini-campaign through
+  ``FleetRunner`` (2 workers, elastic schedule) vs ``SerialRunner``:
+  summary rows and per-fault outcomes must be byte-identical. The
+  any-schedule-one-answer invariant, floored at 1.
+* **stranded_recovery_s** — wall-clock for two crash-on-arrival jobs
+  with a 1.0s retry backoff and one retry each. The event loop gates
+  retries on deadlines, so both recover concurrently (~ max of
+  backoffs); the old serial stranded pass slept the *sum* (>= 2s).
+  Recorded, not floored: it is a small absolute wall-time.
+
+Writes ``BENCH_sched.json`` (or ``BENCH_sched_quick.json`` with
+``--quick``) next to this file.
+
+Usage::
+
+    python benchmarks/perf_sched.py           # full sleep units, best-of reps
+    python benchmarks/perf_sched.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.fleet import (
+    ElasticScheduler,
+    FleetRunner,
+    ProcessBackend,
+    SerialRunner,
+    WorkUnit,
+)
+
+WORKERS = 3
+HEAVY, LIGHT = 10, 1
+COSTS = [HEAVY] * 4 + [LIGHT] * 12
+
+
+class SleepJob:
+    """A schedulable sleep: ``cost_hint`` units of ``unit_s`` each."""
+
+    __slots__ = ("index", "cost_hint", "unit_s")
+
+    def __init__(self, index: int, cost_hint: int, unit_s: float) -> None:
+        self.index = index
+        self.cost_hint = cost_hint
+        self.unit_s = unit_s
+
+
+def sleepy_execute(job: SleepJob) -> int:
+    """The worker entry for synthetic jobs (``entry_ref`` target)."""
+    time.sleep(job.cost_hint * job.unit_s)
+    return job.index
+
+
+def exiting_system():
+    """System factory that kills its worker (stranded-recovery probe)."""
+    os._exit(3)
+
+
+def contiguous_thirds(jobs):
+    """The static baseline: even contiguous slices, one per worker."""
+    per, extra = divmod(len(jobs), WORKERS)
+    slices, at = [], 0
+    for worker in range(WORKERS):
+        size = per + (1 if worker < extra else 0)
+        slices.append(jobs[at:at + size])
+        at += size
+    return slices
+
+
+def run_skew_arm(jobs, *, arm: str, chunk: int = 2):
+    """One scheduling regime over the skew corpus; returns (s, sched).
+
+    ``static``  — contiguous thirds pinned to their worker, no stealing:
+                  the pre-refactor chunking baseline.
+    ``elastic`` — cost-hint LPT placement + stealing: heavy units are
+                  *placed* apart, landing on the 20-unit optimum.
+    ``blind``   — hints withheld (uniform unit costs) + stealing: the
+                  heavies land wherever, and queue stealing rebalances
+                  at run time — same optimum, reached the other way.
+    """
+    backend = ProcessBackend(slot_count=WORKERS,
+                             entry_ref="perf_sched:sleepy_execute")
+    scheduler = ElasticScheduler(backend, steal=arm != "static",
+                                 cost_placement=arm == "elastic")
+    if arm == "static":
+        units = [WorkUnit(chunk_jobs, pinned=worker)
+                 for worker, chunk_jobs in enumerate(contiguous_thirds(jobs))]
+    else:
+        units = [WorkUnit(jobs[i:i + chunk],
+                          cost=None if arm == "elastic" else chunk)
+                 for i in range(0, len(jobs), chunk)]
+    start = time.perf_counter()
+    try:
+        results = scheduler.run(units)
+    finally:
+        backend.close()
+    elapsed = time.perf_counter() - start
+    assert results == {job.index: job.index for job in jobs}, \
+        "scheduler lost or misrouted synthetic results"
+    return elapsed, scheduler
+
+
+def outcome_fingerprint(result) -> str:
+    rows = json.dumps(result.summary_rows(), sort_keys=True)
+    outcomes = [
+        (o.fault.fault_id, o.model_detected, o.model_latency_us, o.model_how,
+         o.code_detected, o.code_latency_us, o.code_how, o.classified_as)
+        for o in result.outcomes
+    ]
+    return rows + "|" + repr(outcomes) + f"|fp={result.false_positives}"
+
+
+def measure_parity() -> int:
+    from repro.faults import run_campaign
+    from repro.comdes.examples import traffic_light_system
+    from repro.experiments.requirements import (
+        traffic_light_code_watches, traffic_light_monitor_suite)
+    kw = dict(design_kinds=("wrong_target",), impl_kinds=("inverted_branch",),
+              seeds=(1, 2), duration_us=1_000_000)
+    serial = run_campaign(traffic_light_system, traffic_light_monitor_suite,
+                          traffic_light_code_watches, runner=SerialRunner(),
+                          **kw)
+    fleet = run_campaign(traffic_light_system, traffic_light_monitor_suite,
+                         traffic_light_code_watches,
+                         runner=FleetRunner(workers=2, chunk_size=2), **kw)
+    return int(outcome_fingerprint(serial) == outcome_fingerprint(fleet))
+
+
+def measure_stranded_recovery(backoff_s: float) -> float:
+    from repro.codegen import InstrumentationPlan
+    from repro.experiments.requirements import (
+        traffic_light_code_watches, traffic_light_monitor_suite)
+    from repro.fleet import JobSpec, callable_ref
+    specs = [
+        JobSpec(i, "design", kind, 1, 1_000_000,
+                "perf_sched:exiting_system",
+                callable_ref(traffic_light_monitor_suite),
+                callable_ref(traffic_light_code_watches),
+                InstrumentationPlan.full())
+        for i, kind in enumerate(("wrong_target", "remove_transition"))
+    ]
+    runner = FleetRunner(workers=2, chunk_size=1, max_retries=1,
+                         retry_backoff_s=backoff_s)
+    start = time.perf_counter()
+    results = runner.run(specs)
+    elapsed = time.perf_counter() - start
+    assert all(r.failed and r.error["type"] == "WorkerCrashed"
+               for r in results), "stranded probe produced a verdict?"
+    return elapsed
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    unit_s = 0.01 if quick else 0.025
+    reps = 1 if quick else 3
+    backoff_s = 0.5 if quick else 1.0
+    jobs = [SleepJob(i, cost, unit_s) for i, cost in enumerate(COSTS)]
+
+    static_best = elastic_best = blind_best = None
+    elastic_sched = blind_sched = None
+    for _ in range(reps):
+        static_s, _ = run_skew_arm(jobs, arm="static")
+        elastic_s, sched = run_skew_arm(jobs, arm="elastic")
+        blind_s, b_sched = run_skew_arm(jobs, arm="blind")
+        if static_best is None or static_s < static_best:
+            static_best = static_s
+        if elastic_best is None or elastic_s < elastic_best:
+            elastic_best, elastic_sched = elastic_s, sched
+        if blind_best is None or blind_s < blind_best:
+            blind_best, blind_sched = blind_s, b_sched
+
+    parity = measure_parity()
+    stranded_s = measure_stranded_recovery(backoff_s)
+
+    results = {
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count() or 1,
+        "corpus_jobs": len(COSTS),
+        "cost_profile": f"{COSTS.count(HEAVY)}x{HEAVY} + "
+                        f"{COSTS.count(LIGHT)}x{LIGHT}",
+        "sleep_unit_ms": unit_s * 1000,
+        "static_units": max(sum(job.cost_hint for job in chunk_jobs)
+                            for chunk_jobs in contiguous_thirds(jobs)),
+        "static_s": round(static_best, 3),
+        "elastic_s": round(elastic_best, 3),
+        "blind_s": round(blind_best, 3),
+        "steal_speedup_skew": round(static_best / elastic_best, 2),
+        "steal_speedup_blind": round(static_best / blind_best, 2),
+        "unit_steals": elastic_sched.steals,
+        "unit_preemptions": elastic_sched.preemptions,
+        "blind_unit_steals": blind_sched.steals,
+        "blind_unit_preemptions": blind_sched.preemptions,
+        "sched_parity_identical": parity,
+        "stranded_backoff_s": backoff_s,
+        "stranded_jobs": 2,
+        "stranded_recovery_s": round(stranded_s, 3),
+        "quick": quick,
+    }
+
+    name = "BENCH_sched_quick.json" if quick else "BENCH_sched.json"
+    out = os.path.join(os.path.dirname(os.path.abspath(__file__)), name)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"skew corpus ({results['cost_profile']} sleep units, "
+          f"{WORKERS} workers): static {results['static_s']}s, "
+          f"elastic {results['elastic_s']}s "
+          f"({results['steal_speedup_skew']}x, LPT placement), "
+          f"hint-blind {results['blind_s']}s "
+          f"({results['steal_speedup_blind']}x via "
+          f"{results['blind_unit_steals']} steals); "
+          f"parity={'OK' if parity else 'BROKEN'}; "
+          f"stranded recovery {results['stranded_recovery_s']}s "
+          f"(2 jobs @ {backoff_s}s backoff)")
+    print(f"-> {out}")
+    if not parity:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

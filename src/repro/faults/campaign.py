@@ -441,8 +441,11 @@ def run_campaign(
     core-starved hosts) to execute the same corpus through the fleet
     subsystem, which requires the three factories to be importable
     module-level callables (``code_watch_specs`` given as a factory,
-    not a list). All runners produce identical results through the
-    canonical merge.
+    not a list). Every runner is a policy shell over the one elastic
+    scheduler core (:mod:`repro.fleet.sched`), and all of them produce
+    identical results through the canonical merge — any steal schedule
+    or worker count is byte-identical to ``SerialRunner`` at the same
+    master seed.
 
     ``comm_kinds`` (off by default) adds the transport-fault plane:
     each kind in :data:`~repro.faults.comm.COMM_FAULT_KINDS` runs the

@@ -1,4 +1,4 @@
-"""repro.fleet — process-pool execution for campaign scale-out and sharding.
+"""repro.fleet — elastic scheduled execution for campaigns and sharding.
 
 Parson's observation (*Extension Language Automation of Embedded System
 Debugging*) is that a debugger becomes an experimentation platform the
@@ -7,15 +7,29 @@ layer: fault campaigns and multi-board simulations stop serializing on
 one interpreter and fan out over worker processes, so scenario count
 scales with cores instead of wall-clock.
 
-Architecture — five layers, strictly stacked::
+Architecture — policy shells around one scheduler core::
 
-    merge.py    results -> CampaignResult     canonical order, loud failures
-    pool.py     FleetRunner / SerialRunner    chunked dispatch, crash retry,
-                                              deterministic seed derivation
-    batch.py    BatchRunner / BoardCohort     firmware-fingerprint cohorts,
-                                              SoA lockstep board execution
-    worker.py   run_job(JobSpec) -> JobResult the process entry point
-    jobs.py     JobSpec / JobResult           picklable recipes, callable refs
+    merge.py     results -> CampaignResult       canonical order, loud failures
+    pool.py      SerialRunner / FleetRunner   }
+    batch.py     BatchRunner / BoardCohort    }  policy shells: unit shape,
+    sharding.py  ShardedDtmKernel epochs      }  backend, retry budget
+    sched.py     ElasticScheduler + WorkUnit     THE event loop: per-worker
+                 Inline/Process/Stepped backends queues, cost-hint placement,
+                                                 work stealing, per-item
+                                                 deadlines, non-blocking retry,
+                                                 heartbeat draining
+    worker.py    run_job / run_unit_stealable    the process entry points
+    jobs.py      JobSpec / JobResult             picklable recipes, cost hints
+
+Every runner builds :class:`~repro.fleet.sched.WorkUnit`\\ s — single
+specs (serial), firmware-fingerprint cohorts (batch), contiguous chunks
+(fleet), pinned shard epochs (sharding) — and hands them to
+:class:`~repro.fleet.sched.ElasticScheduler`, which owns per-worker
+local queues, steals from the longest queue for idle workers, preempts
+multi-item units when everything else is dry (workers return *partial
+batches* and the remainder migrates), enforces per-item deadlines, and
+folds crash/timeout retries into the same loop as dispatch and
+heartbeat draining.
 
 The load-bearing design rules:
 
@@ -24,34 +38,40 @@ The load-bearing design rules:
   coordinates; the worker rebuilds system, firmware and fault locally.
   No live ``Board``, monitor lambda or half-run simulator is ever
   pickled, so results cannot depend on which process ran the job.
-* **One code path.** Workers execute the exact functions the inline
-  serial loop uses (``run_fault_experiment`` / ``run_control_experiment``
-  in :mod:`repro.faults.campaign`), and results are merged by canonical
-  corpus index — parallel output equals serial output bit for bit, for
-  any worker count and chunk size.
-* **Failures are data.** A worker exception returns as a structured
-  ``JobResult.error`` (type, message, traceback); a worker that dies
-  outright is retried in isolation and, if it dies again, reported as a
-  ``WorkerCrashed`` failure. The merge refuses to fabricate a detection
-  table from a corpus with holes unless explicitly asked
-  (``strict=False``).
+* **Any schedule, one answer.** Workers execute the exact functions the
+  inline serial loop uses, results key on the canonical corpus index,
+  and the live plane canonicalizes on ``(job, window)`` — so any steal
+  schedule, worker count, chunking or interleaving produces a
+  ``CampaignResult``, campaign trace store and live-alert transcript
+  byte-identical to ``SerialRunner`` at the same master seed
+  (hypothesis-forced in ``tests/test_sched.py``).
+* **Failures are data, and they are contained.** Workers stream one
+  result per item, so a crash or deadline kill costs exactly the item
+  being executed: finished chunk mates are already home, queued mates
+  re-dispatch uncharged, and the victim retries on a backoff *deadline*
+  (never a blocking sleep) until its budget produces a structured
+  ``WorkerCrashed``/``JobTimeout`` failure. The merge refuses to
+  fabricate a detection table from a corpus with holes unless
+  explicitly asked (``strict=False``).
 
 Entry points:
 
 * campaigns — ``run_campaign(..., runner=FleetRunner(workers=4))`` in
   :mod:`repro.faults.campaign`; on a core-starved host prefer
   ``runner=BatchRunner()`` (cohort-grouped, in-process) — process
-  scale-out cannot win there (``speedup_4w`` 0.87x on 1 CPU) but
-  identical-firmware cohorts can;
+  scale-out cannot win there but identical-firmware cohorts can;
 * seed sweeps — :class:`repro.fleet.batch.BoardCohort` runs N
   same-firmware boards in SoA lockstep via
   :class:`repro.target.batch.BatchCpu` (see ``benchmarks/perf_batch.py``
   for the measured 16/64-lane speedups);
 * multi-board sharding — :class:`repro.rtos.sharding.ShardedDtmKernel`
   runs node-subset kernels in persistent shard workers
-  (:mod:`repro.fleet.shards`) synchronized at network-lookahead epochs;
+  (:mod:`repro.fleet.shards`), their lookahead epochs dispatched as
+  pinned scheduler units (process shards run each epoch concurrently);
 * scoreboard — ``benchmarks/perf_fleet.py`` (BENCH_fleet.json) tracks
-  campaign throughput, speedup and serial/parallel parity across PRs.
+  campaign throughput and parity; ``benchmarks/perf_sched.py``
+  (BENCH_sched.json) floors steal speedup on a skewed corpus, schedule
+  parity and stranded-recovery wall time.
 """
 
 from repro.fleet.batch import (
@@ -65,6 +85,7 @@ from repro.fleet.jobs import (
     JobSpec,
     callable_ref,
     enumerate_campaign_jobs,
+    estimate_cost_hints,
     resolve_ref,
 )
 from repro.fleet.merge import merge_results
@@ -74,15 +95,26 @@ from repro.fleet.pool import (
     default_workers,
     derive_seed,
     seed_stream,
+    serial_live_scope,
 )
-from repro.fleet.worker import run_job, run_job_batch
+from repro.fleet.sched import (
+    ElasticScheduler,
+    InlineBackend,
+    ProcessBackend,
+    SteppedInlineBackend,
+    WorkUnit,
+    unit_cost,
+)
+from repro.fleet.worker import run_job, run_job_batch, run_unit_stealable
 
 __all__ = [
     "JobSpec", "JobResult", "callable_ref", "resolve_ref",
-    "enumerate_campaign_jobs",
-    "FleetRunner", "SerialRunner", "default_workers",
+    "enumerate_campaign_jobs", "estimate_cost_hints",
+    "FleetRunner", "SerialRunner", "default_workers", "serial_live_scope",
     "BatchRunner", "BoardCohort", "cohorts_of", "firmware_fingerprint",
+    "ElasticScheduler", "WorkUnit", "unit_cost",
+    "InlineBackend", "ProcessBackend", "SteppedInlineBackend",
     "derive_seed", "seed_stream",
-    "run_job", "run_job_batch",
+    "run_job", "run_job_batch", "run_unit_stealable",
     "merge_results",
 ]

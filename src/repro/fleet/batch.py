@@ -94,13 +94,19 @@ class BatchRunner:
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         specs = list(specs)
+        if not specs:
+            return []
         cohorts = cohorts_of(specs)
         self.last_cohorts = [(key, [s.index for s in members])
                              for key, members in cohorts]
-        by_index: Dict[int, JobResult] = {}
-        for _, members in cohorts:
-            for spec in members:
-                by_index[spec.index] = run_job(spec)
+        # one work unit per cohort, dispatched through the shared
+        # scheduler core in first-appearance order (cost_placement off:
+        # cohort adjacency, not weight, is this runner's whole policy)
+        from repro.fleet.sched import ElasticScheduler, InlineBackend, WorkUnit
+        scheduler = ElasticScheduler(InlineBackend(run_job),
+                                     cost_placement=False)
+        by_index = scheduler.run(
+            [WorkUnit(members) for _, members in cohorts])
         missing = [s.job_id for s in specs if s.index not in by_index]
         if missing:  # pragma: no cover - run_job never loses a result
             raise FleetError(f"batch runner lost {len(missing)} "

@@ -1,32 +1,40 @@
-"""Process-pool dispatch: FleetRunner, the serial fallback, seed derivation.
+"""Campaign runners: thin policy shells over the elastic scheduler core.
 
 Runner contract — ``run(specs) -> results`` where ``results[i]`` answers
 ``specs[i]`` (canonical order restored no matter which worker finished
-first). Both runners implement it identically, so every call site takes a
-``runner`` and stays oblivious to whether experiments fan out or not.
+first). Every runner implements it identically, so every call site takes
+a ``runner`` and stays oblivious to whether experiments fan out or not.
 
-Scheduling policy:
+Since the scheduler refactor, no dispatch/retry/timeout/collection loop
+lives here: :class:`SerialRunner` and :class:`FleetRunner` only choose a
+*policy* — unit shape, backend, worker count, retry budget — and hand it
+to :class:`~repro.fleet.sched.ElasticScheduler`, the one event loop
+under every execution layer (see :mod:`repro.fleet.sched`).
 
-* **workers** — default ``min(4, cpu_count)``; campaign jobs are pure
-  CPU, so oversubscribing a small container only adds context switches.
-* **chunking** — jobs move to workers in contiguous slices of
-  ``chunk_size`` (default: corpus split into ~4 chunks per worker, so
-  the tail stays balanced while per-chunk dispatch overhead is paid
-  rarely). Chunking is a transport detail: results carry their canonical
-  index and are re-ordered on the way back, so any chunk size produces
-  the same campaign.
-* **crash containment** — a worker that dies outright (segfault,
-  ``os._exit``) breaks the pool; every job that was in flight is retried
-  in an isolated single-job process, up to ``max_retries`` times with
-  exponential backoff, and a job that exhausts its retry budget comes
-  back as a structured ``WorkerCrashed`` failure (retry count recorded
-  on the :class:`~repro.fleet.jobs.JobResult`) instead of hanging or
-  poisoning its chunk mates;
-* **hang containment** — with ``job_timeout_s`` set, a job that wedges
-  its isolated process is killed and reported as a structured
-  ``JobTimeout`` failure; a pool pass that stops completing futures is
-  timed out as a whole and its unfinished chunks go through the same
-  isolated-retry path.
+* **SerialRunner** — one single-spec unit per job, one in-process slot
+  (:class:`~repro.fleet.sched.InlineBackend`), canonical dispatch order.
+  It *is* the parity baseline every other schedule is measured against.
+* **FleetRunner** — contiguous chunks as work units over persistent
+  worker processes (:class:`~repro.fleet.sched.ProcessBackend`):
+  cost-hint-weighted placement, idle-worker stealing, per-job deadlines
+  (``job_timeout_s`` is per in-flight job, not a whole-pass bound),
+  bounded non-blocking retry with exponential backoff, and mid-run
+  heartbeat draining for the live telemetry plane. Workers stream one
+  result per spec, so a crasher costs exactly its own job: chunk mates
+  that finished are already home and the queued rest is re-dispatched
+  uncharged.
+
+**crash containment** — a worker that dies outright (segfault,
+``os._exit``) is respawned; the job it was executing burns one retry
+attempt and is resubmitted after a backoff *deadline* (the event loop
+keeps scheduling — no blocking sleeps), and a job that exhausts
+``max_retries`` comes back as a structured ``WorkerCrashed`` failure
+with the burned count on the :class:`~repro.fleet.jobs.JobResult`.
+
+**hang containment** — with ``job_timeout_s``, the in-flight job of
+every worker has its own deadline; a wedged job gets its worker killed
+and is reported as a structured ``JobTimeout`` failure after the retry
+budget, while its queue mates continue unharmed on other workers.
 
 :func:`derive_seed` / :func:`seed_stream` (canonical home:
 :mod:`repro.util.seeds`, re-exported here for compatibility) are the
@@ -40,52 +48,35 @@ everywhere.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import sys
-import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from typing import List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import List, Optional, Sequence
 
 from repro.errors import FleetError
 from repro.fleet.jobs import JobResult, JobSpec, default_mp_context
-from repro.fleet.worker import run_job, run_job_batch
+from repro.fleet.sched import (
+    ElasticScheduler,
+    InlineBackend,
+    ProcessBackend,
+    WorkUnit,
+)
+from repro.fleet.worker import run_job
 from repro.obs.runtime import OBS
 from repro.util.seeds import derive_seed, seed_stream
 
 __all__ = ["FleetRunner", "SerialRunner", "default_workers",
-           "derive_seed", "seed_stream"]
+           "serial_live_scope", "derive_seed", "seed_stream"]
 
 
 def default_workers() -> int:
     """Worker-count policy: fill the small-machine cores, cap at 4."""
+    import os
     return max(1, min(4, os.cpu_count() or 1))
 
 
 def _chunk(specs: Sequence[JobSpec], chunk_size: int) -> List[List[JobSpec]]:
     return [list(specs[i:i + chunk_size])
             for i in range(0, len(specs), chunk_size)]
-
-
-def _worker_init(extra_paths: List[str], hb_config=None,
-                 hb_queue=None) -> None:
-    """Spawned workers must see the same import roots as the parent.
-
-    With a heartbeat config + queue (the live-telemetry plane), the
-    worker also enables an in-process metrics registry and installs a
-    :class:`~repro.obs.live.HeartbeatEmitter` in ``OBS.live`` whose
-    sink is the parent's queue — every job this process runs then
-    streams windowed registry deltas upward.
-    """
-    for path in reversed(extra_paths):
-        if path not in sys.path:
-            sys.path.insert(0, path)
-    if hb_config is not None and hb_queue is not None:
-        from repro.obs.live import HeartbeatEmitter
-        from repro.obs.metrics import MetricsRegistry
-        if OBS.metrics is None:
-            OBS.metrics = MetricsRegistry()
-        OBS.live = HeartbeatEmitter(hb_config, hb_queue.put)
 
 
 def _crash_result(spec: JobSpec, retries: int = 0) -> JobResult:
@@ -116,27 +107,50 @@ def _timeout_result(spec: JobSpec, retries: int, timeout_s: float) -> JobResult:
     )
 
 
-def _isolated_entry(conn, spec: JobSpec, extra_paths: List[str],
-                    hb_config=None, hb_queue=None) -> None:
-    """Entry point of an isolated single-job retry process."""
-    _worker_init(extra_paths, hb_config, hb_queue)
+@contextmanager
+def serial_live_scope(live):
+    """In-process heartbeat wiring for serial-schedule execution.
+
+    With a :class:`~repro.obs.live.LiveAggregator`, installs a
+    :class:`~repro.obs.live.HeartbeatEmitter` in ``OBS.live`` whose sink
+    is the aggregator's ``feed`` directly — same delta protocol as the
+    fleet's worker queue, zero queues — which is exactly how the
+    serial-vs-fleet transcript identity is provable: both paths
+    aggregate the same canonical messages. The scheduler-parity tests
+    reuse this scope around forced-interleaving schedules, so their
+    transcripts are wired identically to :class:`SerialRunner`'s.
+    """
+    if live is None:
+        yield None
+        return
+    from repro.obs.live import HeartbeatEmitter
+    from repro.obs.metrics import MetricsRegistry
+    prior_live = OBS.live
+    own_registry = OBS.metrics is None
+    if own_registry:
+        OBS.metrics = MetricsRegistry()
+    emitter = HeartbeatEmitter(live.config, live.feed, source="serial")
+    OBS.live = emitter
     try:
-        conn.send(run_job(spec))
+        yield emitter
     finally:
-        conn.close()
+        emitter.close()
+        OBS.live = prior_live
+        if own_registry:
+            OBS.metrics = None
 
 
 class SerialRunner:
     """The in-process fallback: identical interface, zero processes.
 
-    Runs every job through the same :func:`~repro.fleet.worker.run_job`
-    the pool workers use — it *is* the parity baseline the parallel
-    runner is measured against. With ``live=`` (a
-    :class:`~repro.obs.live.LiveAggregator`) it installs an in-process
-    :class:`~repro.obs.live.HeartbeatEmitter` whose sink is the
-    aggregator's ``feed`` directly — same delta protocol, zero queues —
-    which is exactly how the serial-vs-fleet transcript identity is
-    provable: both paths aggregate the same canonical messages.
+    A policy shell over :class:`~repro.fleet.sched.ElasticScheduler`:
+    one single-spec unit per job on one inline slot, placement in
+    canonical order, stealing irrelevant — i.e. the canonical serial
+    schedule every elastic schedule must be byte-identical to. Jobs run
+    through the same :func:`~repro.fleet.worker.run_job` the pool
+    workers use. With ``live=`` (a
+    :class:`~repro.obs.live.LiveAggregator`) heartbeats flow through
+    :func:`serial_live_scope` straight into the aggregator.
     """
 
     workers = 1
@@ -146,24 +160,14 @@ class SerialRunner:
         self.live = live
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
-        if self.live is None:
-            return [run_job(spec) for spec in specs]
-        from repro.obs.live import HeartbeatEmitter
-        from repro.obs.metrics import MetricsRegistry
-        prior_live = OBS.live
-        own_registry = OBS.metrics is None
-        if own_registry:
-            OBS.metrics = MetricsRegistry()
-        emitter = HeartbeatEmitter(self.live.config, self.live.feed,
-                                   source="serial")
-        OBS.live = emitter
-        try:
-            return [run_job(spec) for spec in specs]
-        finally:
-            emitter.close()
-            OBS.live = prior_live
-            if own_registry:
-                OBS.metrics = None
+        specs = list(specs)
+        if not specs:
+            return []
+        with serial_live_scope(self.live):
+            scheduler = ElasticScheduler(InlineBackend(run_job),
+                                         cost_placement=False)
+            by_index = scheduler.run([WorkUnit([spec]) for spec in specs])
+        return [by_index[spec.index] for spec in specs]
 
     def __repr__(self) -> str:
         live = " live" if self.live is not None else ""
@@ -171,7 +175,7 @@ class SerialRunner:
 
 
 class FleetRunner:
-    """Chunked campaign dispatch over a process pool."""
+    """Elastic campaign dispatch over persistent worker processes."""
 
     def __init__(self, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
@@ -196,13 +200,16 @@ class FleetRunner:
         self.chunk_size = chunk_size
         self.mp_context = (mp_context if mp_context is not None
                            else default_mp_context())
-        #: isolated-process retry attempts for a job whose worker died
-        #: (0 = report the first crash as terminal)
+        #: resubmission attempts for a job whose worker died or was
+        #: deadline-killed (0 = report the first death as terminal)
         self.max_retries = max_retries
-        #: sleep before retry attempt N: backoff * 2**(N-1) seconds
+        #: retry attempt N is gated on a deadline backoff * 2**(N-1)
+        #: seconds after the death — the event loop never sleeps through
+        #: it, so N stranded jobs recover in max-of-backoffs wall time
         self.retry_backoff_s = retry_backoff_s
-        #: kill an isolated job after this many wall-clock seconds; also
-        #: bounds the pool pass at timeout * len(specs) total
+        #: per-job deadline: the in-flight job of each worker is killed
+        #: this many wall-clock seconds after dispatch (or its worker's
+        #: previous result) — no whole-pass timeout exists anymore
         self.job_timeout_s = job_timeout_s
         #: optional repro.obs.live.LiveAggregator: workers stream
         #: heartbeat deltas to it over a managed queue piggybacked on
@@ -214,17 +221,14 @@ class FleetRunner:
         if self.chunk_size is not None:
             return self.chunk_size
         # ~4 chunks per worker: coarse enough to amortize dispatch,
-        # fine enough that one slow chunk cannot strand the tail.
+        # fine enough that stealing has units left to rebalance.
         return max(1, -(-total // (self.workers * 4)))
 
-    def _executor(self, workers: int) -> ProcessPoolExecutor:
-        hb_config = self.live.config if self.live is not None else None
-        return ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=multiprocessing.get_context(self.mp_context),
-            initializer=_worker_init,
-            initargs=(list(sys.path), hb_config, self._hb_queue),
-        )
+    def _terminal_result(self, spec: JobSpec, kind: str,
+                         retries: int) -> JobResult:
+        if kind == "timeout":
+            return _timeout_result(spec, retries, self.job_timeout_s)
+        return _crash_result(spec, retries)
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         """Run the corpus; results come back in canonical spec order."""
@@ -234,10 +238,10 @@ class FleetRunner:
         manager = None
         if self.live is not None:
             # A managed queue, not a raw mp.Queue: the proxy pickles
-            # through initargs under fork *and* spawn, and `put` is a
-            # synchronous round-trip to the manager process, so a
-            # worker's last heartbeat is never lost in a feeder thread
-            # when its process exits.
+            # through the worker spawn args under fork *and* spawn, and
+            # `put` is a synchronous round-trip to the manager process,
+            # so a worker's last heartbeat is never lost in a feeder
+            # thread when its process exits.
             manager = multiprocessing.get_context(self.mp_context).Manager()
             self._hb_queue = manager.Queue()
         try:
@@ -249,61 +253,28 @@ class FleetRunner:
                 manager.shutdown()
 
     def _run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
-        by_index: dict = {}
-        stranded: List[JobSpec] = []
-
         chunks = _chunk(specs, self._chunk_size_for(len(specs)))
-        pass_timeout = (self.job_timeout_s * len(specs)
-                        if self.job_timeout_s is not None else None)
+        units = [WorkUnit(chunk) for chunk in chunks]
+        backend = ProcessBackend(
+            slot_count=min(self.workers, len(chunks)),
+            mp_context=self.mp_context,
+            hb_config=self.live.config if self.live is not None else None,
+            hb_queue=self._hb_queue,
+            extra_paths=list(sys.path),
+        )
+        scheduler = ElasticScheduler(
+            backend,
+            max_retries=self.max_retries,
+            retry_backoff_s=self.retry_backoff_s,
+            job_timeout_s=self.job_timeout_s,
+            live=self.live,
+            live_queue=self._hb_queue,
+            terminal_result=self._terminal_result,
+        )
         try:
-            with self._executor(min(self.workers, len(chunks))) as pool:
-                futures = {pool.submit(run_job_batch, chunk): chunk
-                           for chunk in chunks}
-                try:
-                    for future in as_completed(futures,
-                                               timeout=pass_timeout):
-                        if self.live is not None:
-                            # stream whatever the workers buffered so
-                            # far: dashboards update mid-campaign, not
-                            # at the end
-                            self.live.drain(self._hb_queue)
-                        try:
-                            batch = future.result()
-                        except BrokenExecutor:
-                            stranded.extend(futures[future])
-                            continue
-                        for result in batch:
-                            by_index[result.index] = result
-                except FuturesTimeoutError:
-                    # the pool pass stopped making progress: kill the
-                    # workers so `with` can shut down, harvest whatever
-                    # finished, strand the rest for isolated retry
-                    for proc in getattr(pool, "_processes", {}).values():
-                        proc.terminate()
-                    for future, chunk in futures.items():
-                        if future.done() and not future.cancelled():
-                            try:
-                                for result in future.result():
-                                    by_index[result.index] = result
-                            except Exception:  # noqa: BLE001 - crashed chunk
-                                stranded.extend(chunk)
-                        else:
-                            future.cancel()
-                            stranded.extend(chunk)
-        except BrokenExecutor:
-            # The pool died during shutdown; anything unaccounted for
-            # goes through the isolated retry below.
-            pass
-        for spec in specs:
-            if spec.index not in by_index and spec not in stranded:
-                stranded.append(spec)
-
-        # Bounded second chance, one isolated process per attempt: the
-        # crasher (or hanger) is contained and identified; its innocent
-        # chunk mates complete. Terminal failures are structured, with
-        # the burned retry count on the result.
-        for spec in stranded:
-            by_index[spec.index] = self._run_stranded(spec)
+            by_index = scheduler.run(units)
+        finally:
+            backend.close()
 
         missing = [spec.job_id for spec in specs if spec.index not in by_index]
         if missing:
@@ -317,7 +288,13 @@ class FleetRunner:
             metrics = OBS.metrics
             metrics.counter("fleet.jobs_dispatched").inc(len(specs))
             metrics.counter("fleet.chunks").inc(len(chunks))
-            metrics.counter("fleet.jobs_stranded").inc(len(stranded))
+            metrics.counter("fleet.jobs_stranded").inc(
+                len(scheduler.stranded_items))
+            if scheduler.steals:
+                metrics.counter("fleet.unit_steals").inc(scheduler.steals)
+            if scheduler.preemptions:
+                metrics.counter("fleet.unit_preemptions").inc(
+                    scheduler.preemptions)
             for result in results:
                 if result.failed:
                     metrics.counter("fleet.jobs_failed",
@@ -327,53 +304,6 @@ class FleetRunner:
                 if result.retries:
                     metrics.counter("fleet.job_retries").inc(result.retries)
         return results
-
-    def _run_stranded(self, spec: JobSpec) -> JobResult:
-        """Retry one stranded job in isolation, bounded with backoff."""
-        timed_out = False
-        for attempt in range(1, self.max_retries + 1):
-            if self.retry_backoff_s:
-                time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
-            result, status = self._run_isolated(spec)
-            if result is not None:
-                result.retries = attempt
-                return result
-            timed_out = status == "timeout"
-        if timed_out:
-            return _timeout_result(spec, self.max_retries, self.job_timeout_s)
-        return _crash_result(spec, retries=self.max_retries)
-
-    def _run_isolated(self, spec: JobSpec
-                      ) -> Tuple[Optional[JobResult], str]:
-        """One isolated attempt; returns (result, status).
-
-        ``status`` is ``"ok"``, ``"crashed"`` (the process died without
-        sending a result) or ``"timeout"`` (it was still running at the
-        per-job deadline and was killed).
-        """
-        ctx = multiprocessing.get_context(self.mp_context)
-        parent, child = ctx.Pipe(duplex=False)
-        hb_config = self.live.config if self.live is not None else None
-        proc = ctx.Process(target=_isolated_entry,
-                           args=(child, spec, list(sys.path),
-                                 hb_config, self._hb_queue))
-        proc.start()
-        child.close()
-        try:
-            if not parent.poll(self.job_timeout_s):
-                return None, "timeout"
-            try:
-                return parent.recv(), "ok"
-            except EOFError:
-                return None, "crashed"
-        finally:
-            parent.close()
-            if proc.is_alive():
-                proc.terminate()
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - terminate() refused
-                proc.kill()
-                proc.join(timeout=5)
 
     def __repr__(self) -> str:
         timeout = (f" timeout={self.job_timeout_s}s"

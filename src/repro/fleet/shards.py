@@ -154,9 +154,17 @@ class ShardHost:
         self._process.start()
         child.close()
 
-    def _request(self, message: tuple):
+    def _send(self, message: tuple) -> None:
         try:
             self._conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise FleetError(
+                f"shard worker for nodes {self.nodes} died "
+                f"(exitcode {self._process.exitcode})") from exc
+
+    def collect(self):
+        """Receive one pending reply (pairs with :meth:`dispatch_run`)."""
+        try:
             reply = self._conn.recv()
         except (EOFError, BrokenPipeError, OSError) as exc:
             raise FleetError(
@@ -168,10 +176,26 @@ class ShardHost:
                              f"{kind}: {text}\n{trace}")
         return reply[1]
 
+    def _request(self, message: tuple):
+        self._send(message)
+        return self.collect()
+
+    def dispatch_run(self, t2: int,
+                     injections: Sequence[Injection]) -> None:
+        """Start the epoch without waiting for it.
+
+        The split half of :meth:`run_to`: the scheduler dispatches every
+        shard's epoch first and only then collects, so process-backend
+        shards execute one epoch genuinely in parallel instead of
+        serializing on one synchronous pipe round-trip per shard.
+        """
+        self._send(("run", t2, list(injections)))
+
     def run_to(self, t2: int,
                injections: Sequence[Injection]) -> List[Publication]:
         """Advance the shard to *t2*; returns its epoch publications."""
-        return self._request(("run", t2, list(injections)))
+        self.dispatch_run(t2, injections)
+        return self.collect()
 
     def report(self) -> ShardReport:
         """Fetch the shard's current observable state."""

@@ -91,15 +91,19 @@ class TestBoundedCrashRetry:
         assert results[0].error["type"] == "WorkerCrashed"
         assert results[0].retries == 0
 
-    def test_innocent_chunk_mates_record_their_retry(self):
-        # one chunk, one crasher: the innocents die with the pool and
-        # succeed on isolated retry attempt 1
+    def test_innocent_chunk_mates_are_unaffected(self):
+        # one chunk, one crasher: workers stream one result per spec,
+        # so the innocent's result is already home when the crasher
+        # takes the worker down — it never reruns, never burns a retry
         specs = [spec(0, callable_ref(traffic_light_system)),
                  spec(1, "test_fleet_retry:exiting_system")]
         runner = FleetRunner(workers=1, chunk_size=2, max_retries=1)
         results = runner.run(specs)
         assert not results[0].failed
-        assert results[0].retries == 1
+        assert results[0].retries == 0
+        assert results[1].failed
+        assert results[1].error["type"] == "WorkerCrashed"
+        assert results[1].retries == 1
 
     def test_backoff_sleeps_between_attempts(self):
         runner = FleetRunner(workers=1, chunk_size=1, max_retries=2,
